@@ -1,0 +1,87 @@
+"""Ablation: tile size (paper §3.2's argument for 16x16).
+
+The paper fixes the tile size at 16 because it exactly saturates the uint8
+packed local-index pair and the uint16 row mask; 4x4 and 8x8 'cannot
+saturate the 8-bit data type and bring more complex packing'.  This
+ablation runs TileSpGEMM with tile sizes 4/8/16 and reports:
+
+* format space (smaller tiles mean more tiles, more per-tile metadata);
+* tile population statistics (tiles, nnz per tile);
+* SpGEMM wall time and candidate-tile counts.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import save_and_print
+from repro.analysis import format_table
+from repro.core import TileMatrix, tile_spgemm
+from repro.matrices import representative_18
+
+TILE_SIZES = [4, 8, 16]
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    spec = next(s for s in representative_18() if s.name == "cant")
+    a = spec.matrix()
+    out = {}
+    for t in TILE_SIZES:
+        tiled = TileMatrix.from_csr(a, t)
+        t0 = time.perf_counter()
+        res = tile_spgemm(tiled, tiled)
+        wall = time.perf_counter() - t0
+        out[t] = {
+            "tiles_a": tiled.num_tiles,
+            "nnz_per_tile": tiled.nnz / max(tiled.num_tiles, 1),
+            "space_mb": tiled.memory_bytes() / 1e6,
+            "c_tiles": res.c.num_tiles,
+            "wall_ms": wall * 1e3,
+            "nnz_c": res.c.nnz,
+        }
+    return out
+
+
+def test_ablation_report(benchmark, ablation):
+    rows = [
+        [
+            f"{t}x{t}",
+            v["tiles_a"],
+            f"{v['nnz_per_tile']:.1f}",
+            f"{v['space_mb']:.3f}",
+            v["c_tiles"],
+            f"{v['wall_ms']:.1f}",
+        ]
+        for t, v in ablation.items()
+    ]
+    text = format_table(
+        ["tile", "tiles(A)", "nnz/tile", "space MB", "tiles(C)", "SpGEMM ms"],
+        rows,
+        title="Ablation: tile size (paper fixes 16x16: saturates uint8 indices + uint16 masks)",
+    )
+    benchmark.pedantic(save_and_print, args=("ablation_tilesize", text), rounds=1, iterations=1)
+
+
+def test_shape_results_identical_across_tile_sizes(ablation):
+    nnz = {v["nnz_c"] for v in ablation.values()}
+    assert len(nnz) == 1  # same product regardless of tiling
+
+
+def test_shape_smaller_tiles_more_metadata(ablation):
+    """4x4 and 8x8 fragment the matrix into far more tiles."""
+    assert ablation[4]["tiles_a"] > ablation[8]["tiles_a"] > ablation[16]["tiles_a"]
+
+
+def test_shape_16_is_space_sweet_spot_vs_4(ablation):
+    """Per-tile metadata makes tiny tiles costlier in space."""
+    assert ablation[16]["space_mb"] < ablation[4]["space_mb"]
+
+
+@pytest.mark.parametrize("tile_size", TILE_SIZES)
+def test_bench_tilesize(benchmark, tile_size):
+    spec = next(s for s in representative_18() if s.name == "rma10")
+    a = spec.matrix()
+    tiled = TileMatrix.from_csr(a, tile_size)
+    res = benchmark.pedantic(lambda: tile_spgemm(tiled, tiled), rounds=1, iterations=1)
+    benchmark.extra_info["c_tiles"] = res.c.num_tiles

@@ -1,0 +1,88 @@
+"""Extension bench: distributed SUMMA scaling and communication cost.
+
+The paper positions its tiled format as "like the distributed blocking
+SpGEMM methods, but optimized for GPUs without concerns on communication
+costs".  This bench quantifies exactly those concerns: sparse SUMMA over
+1 / 4 / 9 / 16 modelled devices on an FEM workload, reporting communication
+volume, the communication share of the critical path, and the strong-
+scaling efficiency the single-GPU algorithm never has to pay for.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_and_print
+from repro.analysis import format_table
+from repro.distributed import ProcessGrid, summa_spgemm
+from repro.matrices import generators
+
+GRIDS = [(1, 1), (2, 2), (3, 3), (4, 4)]
+
+
+@pytest.fixture(scope="module")
+def scaling():
+    a = generators.banded(8000, 30, fill=0.9, seed=311).to_csr()
+    base = None
+    out = {}
+    for shape in GRIDS:
+        res = summa_spgemm(a, a, ProcessGrid(*shape))
+        if base is None:
+            base = res.critical_path_s
+        p = shape[0] * shape[1]
+        out[shape] = {
+            "p": p,
+            "critical_ms": res.critical_path_s * 1e3,
+            "comm_mb": res.total_comm_volume / 1e6,
+            "comm_frac": res.comm_fraction,
+            "speedup": base / res.critical_path_s if res.critical_path_s else 0.0,
+            "efficiency": base / res.critical_path_s / p if res.critical_path_s else 0.0,
+            "imbalance": res.compute_imbalance(),
+        }
+    return out
+
+
+def test_distributed_report(benchmark, scaling):
+    rows = [
+        [
+            f"{s[0]}x{s[1]}",
+            v["p"],
+            f"{v['critical_ms']:.3f}",
+            f"{v['comm_mb']:.2f}",
+            f"{v['comm_frac'] * 100:.1f}%",
+            f"{v['speedup']:.2f}x",
+            f"{v['efficiency'] * 100:.0f}%",
+            f"{v['imbalance']:.2f}",
+        ]
+        for s, v in scaling.items()
+    ]
+    text = format_table(
+        ["grid", "procs", "critical path ms", "comm MB", "comm share",
+         "speedup", "efficiency", "imbalance"],
+        rows,
+        title="Extension: sparse SUMMA strong scaling (alpha-beta interconnect model)",
+    )
+    benchmark.pedantic(save_and_print, args=("ext_distributed", text), rounds=1, iterations=1)
+
+
+def test_shape_communication_grows(scaling):
+    vols = [scaling[s]["comm_mb"] for s in GRIDS]
+    assert vols[0] == 0.0
+    assert all(a < b for a, b in zip(vols, vols[1:]))
+
+
+def test_shape_scaling_under_linear(scaling):
+    """Communication keeps distributed efficiency below 100 % — the cost
+    the single-GPU tiled algorithm avoids."""
+    for s in GRIDS[1:]:
+        assert scaling[s]["efficiency"] < 1.0
+
+
+def test_shape_some_speedup_at_4(scaling):
+    assert scaling[(2, 2)]["speedup"] > 1.2
+
+
+def test_bench_summa(benchmark):
+    a = generators.banded(1600, 12, fill=0.9, seed=312).to_csr()
+    res = benchmark.pedantic(
+        lambda: summa_spgemm(a, a, ProcessGrid(2, 2)), rounds=1, iterations=1
+    )
+    assert res.c.nnz > 0

@@ -1,0 +1,70 @@
+"""Figure 12: CSR -> tiled conversion time vs a single TileSpGEMM run.
+
+The paper shows conversion costing no more than ~ten SpGEMM runs across a
+flops sweep, arguing the tiled format is worth holding resident (AMG etc.
+chain SpGEMMs).  This bench measures both wall-clock quantities across the
+representative suite, sorted by flops exactly like the figure's x-axis.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import save_and_print
+from repro.analysis import format_table
+from repro.core import TileMatrix, tile_spgemm
+from repro.matrices import matrix_stats, representative_18
+
+
+@pytest.fixture(scope="module")
+def conversion_data():
+    rows = []
+    for spec in representative_18():
+        a = spec.matrix()
+        st = matrix_stats(a)
+        t0 = time.perf_counter()
+        tiled = TileMatrix.from_csr(a)
+        conv_s = time.perf_counter() - t0
+        res = tile_spgemm(tiled, tiled)
+        spgemm_s = res.timer.total
+        rows.append(
+            {
+                "name": spec.name,
+                "flops": st.flops,
+                "conv_ms": conv_s * 1e3,
+                "spgemm_ms": spgemm_s * 1e3,
+                "ratio": conv_s / spgemm_s if spgemm_s > 0 else float("inf"),
+            }
+        )
+    return sorted(rows, key=lambda r: r["flops"])
+
+
+def test_fig12_report(benchmark, conversion_data):
+    rows = [
+        [r["name"], f"{r['flops']:.2e}", f"{r['conv_ms']:.3f}", f"{r['spgemm_ms']:.3f}", f"{r['ratio']:.3f}"]
+        for r in conversion_data
+    ]
+    text = format_table(
+        ["matrix", "#flops A^2", "conversion ms", "one SpGEMM ms", "conv / SpGEMM"],
+        rows,
+        title="Figure 12: CSR->tiled conversion vs a single TileSpGEMM "
+        "(paper: conversion <= ~10 SpGEMMs)",
+    )
+    benchmark.pedantic(save_and_print, args=("fig12_conversion", text), rounds=1, iterations=1)
+
+
+def test_shape_conversion_at_most_ten_spgemms(conversion_data):
+    ok = sum(1 for r in conversion_data if r["ratio"] <= 10.0)
+    assert ok >= 16, [r["name"] for r in conversion_data if r["ratio"] > 10.0]
+
+
+def test_shape_conversion_cheap_on_heavy_matrices(conversion_data):
+    """The flops-heavy half of the sweep amortises conversion to <1 run."""
+    heavy = conversion_data[len(conversion_data) // 2 :]
+    assert all(r["ratio"] < 2.0 for r in heavy), [(r["name"], r["ratio"]) for r in heavy]
+
+
+def test_bench_conversion(benchmark):
+    a = representative_18()[0].matrix()
+    tiled = benchmark.pedantic(lambda: TileMatrix.from_csr(a), rounds=3, iterations=1)
+    assert tiled.nnz == a.nnz

@@ -1,0 +1,113 @@
+"""Figure 13: TileSpGEMM vs tSparse (tensor-core dense tiles), 16 matrices.
+
+The paper runs both in half precision on the tSparse paper's own dataset
+and reports TileSpGEMM winning all 16 with a 1.98x geometric-mean and
+4.04x maximum speedup: recasting sparse tiles as dense tensor-core GEMMs
+wastes the tiles' sparsity.  This bench regenerates the per-matrix GFlops
+pairs and the speedup summary from the GPU model (tSparse runs its actual
+dense tile-pair GEMM implementation; the model charges tensor-core rates).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_method, save_and_print, tiled_of
+from repro.analysis import format_table, geometric_mean
+from repro.baselines import get_algorithm
+from repro.gpu import RTX3090, estimate_run
+from repro.matrices import tsparse_16
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    out = {}
+    for spec in tsparse_16():
+        a = spec.matrix()
+        tile_res = run_method("tilespgemm", a)
+        ts_res = get_algorithm("tsparse")(a, a, a_tiled=tiled_of(a), b_tiled=tiled_of(a))
+        out[spec.name] = {
+            "tile": estimate_run(tile_res, RTX3090).gflops,
+            "tsparse": estimate_run(ts_res, RTX3090).gflops,
+            "dense_macs": ts_res.stats["dense_macs"],
+            "products": ts_res.stats["num_products"],
+        }
+    return out
+
+
+def test_fig13_report(benchmark, comparison):
+    rows = []
+    speedups = []
+    for name, v in comparison.items():
+        speedup = v["tile"] / v["tsparse"] if v["tsparse"] > 0 else float("inf")
+        speedups.append(speedup)
+        rows.append(
+            [
+                name,
+                f"{v['tsparse']:.2f}",
+                f"{v['tile']:.2f}",
+                f"{speedup:.2f}x",
+                f"{v['dense_macs'] / max(v['products'], 1):.1f}x",
+            ]
+        )
+    text = format_table(
+        ["matrix", "tSparse* GFlops", "TileSpGEMM GFlops", "speedup", "MAC waste"],
+        rows,
+        title="Figure 13: TileSpGEMM vs tSparse, modelled RTX 3090 "
+        "(paper: geomean 1.98x, max 4.04x)",
+    )
+    text += (
+        f"\n\ngeometric-mean speedup: {geometric_mean(speedups):.2f}x, "
+        f"max: {max(s for s in speedups if np.isfinite(s)):.2f}x"
+    )
+    benchmark.pedantic(save_and_print, args=("fig13_tsparse", text), rounds=1, iterations=1)
+
+
+def test_shape_tile_wins_most(comparison):
+    wins = sum(1 for v in comparison.values() if v["tile"] > v["tsparse"])
+    assert wins >= 12, wins
+
+
+def test_shape_geomean_speedup_exceeds_one(comparison):
+    """TileSpGEMM wins on geometric mean (paper: 1.98x).  Our hypersparse
+    analogues overstate the win — their candidate-tile populations are
+    denser per flop than the originals' at full scale (EXPERIMENTS.md) —
+    so only the direction and a generous ceiling are asserted."""
+    speedups = [
+        v["tile"] / v["tsparse"] for v in comparison.values() if v["tsparse"] > 0
+    ]
+    g = geometric_mean(speedups)
+    assert g > 1.2, g
+
+
+def test_shape_dense_macs_wasteful(comparison):
+    """The mechanism behind the win: dense tile GEMMs execute far more
+    MACs than the sparse products actually needed."""
+    for name, v in comparison.items():
+        assert v["dense_macs"] > 2 * v["products"], name
+
+
+def test_half_precision_modes_agree():
+    """The paper runs both methods in half precision; our fp16 modes must
+    produce the same product up to fp16 rounding."""
+    import numpy as np
+
+    from repro.core import tile_spgemm
+
+    spec = tsparse_16()[4]  # lock1074 analogue
+    a = spec.matrix()
+    tiled = tiled_of(a)
+    tile_half = tile_spgemm(tiled, tiled, value_dtype=np.float16).c.to_csr()
+    ts_half = get_algorithm("tsparse")(
+        a, a, dtype=np.float16, a_tiled=tiled, b_tiled=tiled
+    ).c
+    assert np.allclose(
+        tile_half.to_dense(), ts_half.to_dense(), rtol=5e-2, atol=1e-1
+    )
+
+
+def test_bench_tsparse_kernel(benchmark):
+    a = tsparse_16()[4].matrix()  # lock1074 analogue: small FEM
+    res = benchmark.pedantic(
+        lambda: get_algorithm("tsparse")(a, a), rounds=1, iterations=1
+    )
+    assert res.c.nnz > 0

@@ -1,0 +1,84 @@
+"""Figure 14: runtime breakdown of tSparse vs TileSpGEMM on the 16 matrices.
+
+The paper's stacked bars show tSparse dominated by memory allocation
+(repeated resizing of its dense result buffer) and by steps 2/3 on sparse
+tiles, while TileSpGEMM's allocation share stays small.  This bench prints
+both methods' modelled per-bucket milliseconds side by side.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_method, save_and_print, tiled_of
+from repro.analysis import BUCKETS, estimated_breakdown, format_table
+from repro.baselines import get_algorithm
+from repro.gpu import RTX3090, estimate_run
+from repro.matrices import tsparse_16
+
+
+@pytest.fixture(scope="module")
+def breakdowns():
+    out = {}
+    for spec in tsparse_16():
+        a = spec.matrix()
+        tile_est = estimate_run(run_method("tilespgemm", a), RTX3090)
+        ts_est = estimate_run(
+            get_algorithm("tsparse")(a, a, a_tiled=tiled_of(a), b_tiled=tiled_of(a)),
+            RTX3090,
+        )
+        out[spec.name] = {
+            "tile": estimated_breakdown(tile_est),
+            "tsparse": estimated_breakdown(ts_est),
+        }
+    return out
+
+
+def test_fig14_report(benchmark, breakdowns):
+    rows = []
+    for name, d in breakdowns.items():
+        rows.append(
+            [name]
+            + [f"{d['tsparse'][b] * 1e3:.3f}" for b in BUCKETS]
+            + [f"{d['tile'][b] * 1e3:.3f}" for b in BUCKETS]
+        )
+    text = format_table(
+        ["matrix"]
+        + [f"tS {b} ms" for b in BUCKETS]
+        + [f"Tile {b} ms" for b in BUCKETS],
+        rows,
+        title="Figure 14: modelled runtime breakdown, tSparse vs TileSpGEMM",
+    )
+    benchmark.pedantic(save_and_print, args=("fig14_tsparse_breakdown", text), rounds=1, iterations=1)
+
+
+def test_shape_tsparse_alloc_share_larger(breakdowns):
+    """tSparse's allocation share exceeds TileSpGEMM's on most matrices
+    (the dense result buffers + resizing)."""
+    bigger = 0
+    for d in breakdowns.values():
+        ts_total = sum(d["tsparse"].values())
+        tile_total = sum(d["tile"].values())
+        if ts_total > 0 and tile_total > 0:
+            if d["tsparse"]["malloc"] / ts_total >= d["tile"]["malloc"] / tile_total:
+                bigger += 1
+    assert bigger >= 11, bigger
+
+
+def test_shape_tsparse_slower_overall(breakdowns):
+    slower = sum(
+        1
+        for d in breakdowns.values()
+        if sum(d["tsparse"].values()) > sum(d["tile"].values())
+    )
+    assert slower >= 12, slower
+
+
+def test_bench_breakdown_pipeline(benchmark):
+    spec = tsparse_16()[3]
+    a = spec.matrix()
+
+    def pipeline():
+        est = estimate_run(run_method("tilespgemm", a), RTX3090)
+        return estimated_breakdown(est)
+
+    out = benchmark.pedantic(pipeline, rounds=3, iterations=1)
+    assert set(out) == set(BUCKETS)

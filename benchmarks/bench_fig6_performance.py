@@ -1,0 +1,135 @@
+"""Figure 6: performance vs compression rate over the full dataset,
+A^2 and A A^T, two modelled GPUs, with regression lines and scalability.
+
+The paper's headline figure: for all (142, here: synthetic stand-in)
+matrices, each method's GFlops is plotted against the matrix's compression
+rate (log10), a linear trend is fitted per method, and the bottom row
+shows each method's RTX 3090 / RTX 3060 speedup.  This bench regenerates
+all three series: per-matrix GFlops, the regression (slope/intercept/r),
+and the scalability geometric means.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import (
+    METHOD_LABELS,
+    PAPER_METHODS,
+    fig6_matrix_cap,
+    run_method,
+    save_and_print,
+)
+from repro.analysis import ascii_scatter, fit_loglinear, format_table, geometric_mean
+from repro.gpu import RTX3060, RTX3090, estimate_run
+from repro.matrices import full_dataset, matrix_stats
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """Run every method over the dataset; collect CR and GFlops/device."""
+    specs = full_dataset(max_matrices=fig6_matrix_cap())
+    data = []
+    for spec in specs:
+        a = spec.matrix()
+        st = matrix_stats(a)
+        entry = {"name": spec.name, "category": spec.category, "cr": st.compression_rate}
+        for method in PAPER_METHODS:
+            res = run_method(method, a, cache=False)
+            entry[(method, "3090")] = estimate_run(res, RTX3090).gflops
+            entry[(method, "3060")] = estimate_run(res, RTX3060).gflops
+            del res
+        data.append(entry)
+    return data
+
+
+def test_fig6_report(benchmark, sweep):
+    rows = [
+        [e["name"], e["category"], f"{e['cr']:.2f}"]
+        + [f"{e[(m, '3090')]:.2f}" for m in PAPER_METHODS]
+        for e in sorted(sweep, key=lambda e: e["cr"])
+    ]
+    text = format_table(
+        ["matrix", "class", "CR"] + [METHOD_LABELS[m] for m in PAPER_METHODS],
+        rows,
+        title=f"Figure 6 (top): estimated GFlops vs compression rate, C = A^2, "
+        f"RTX 3090 model ({len(sweep)} matrices)",
+    )
+
+    # Regression lines (the paper's overlays).
+    reg_rows = []
+    for m in PAPER_METHODS:
+        line = fit_loglinear([e["cr"] for e in sweep], [e[(m, "3090")] for e in sweep])
+        reg_rows.append(
+            [METHOD_LABELS[m], f"{line.slope:.2f}", f"{line.intercept:.2f}", f"{line.r_value:.2f}"]
+        )
+    text += "\n\n" + format_table(
+        ["method", "slope (GFlops per decade of CR)", "intercept", "r"],
+        reg_rows,
+        title="Figure 6 regression lines",
+    )
+
+    # Scalability sub-figures (bottom row).
+    scal_rows = []
+    for m in PAPER_METHODS:
+        ratios = [
+            e[(m, "3090")] / e[(m, "3060")]
+            for e in sweep
+            if e[(m, "3060")] > 0 and e[(m, "3090")] > 0
+        ]
+        scal_rows.append([METHOD_LABELS[m], f"{geometric_mean(ratios):.2f}"])
+    text += "\n\n" + format_table(
+        ["method", "3090/3060 speedup (geomean)"],
+        scal_rows,
+        title="Figure 6 (bottom): scalability   (paper: bh 2.12x, ns 2.66x, speck 2.82x, tile 2.53x)",
+    )
+
+    # ASCII scatter panels (the paper's per-method sub-figures).
+    for m in ("tilespgemm", "speck"):
+        text += "\n\n" + ascii_scatter(
+            [e["cr"] for e in sweep],
+            [e[(m, "3090")] for e in sweep],
+            title=f"Figure 6 panel: {METHOD_LABELS[m]} (RTX 3090 model)",
+            xlabel="compression rate (log10)",
+            ylabel="GFlops",
+        )
+    benchmark.pedantic(save_and_print, args=("fig6_performance", text), rounds=1, iterations=1)
+
+
+def test_shape_gflops_grow_with_compression(sweep):
+    """The paper's regression reading: TileSpGEMM's trend line rises with
+    compression rate, and more steeply than the row-row methods'."""
+    tile = fit_loglinear([e["cr"] for e in sweep], [e[("tilespgemm", "3090")] for e in sweep])
+    assert tile.slope > 0
+    esc = fit_loglinear([e["cr"] for e in sweep], [e[("bhsparse_esc", "3090")] for e in sweep])
+    assert tile.slope > esc.slope
+
+
+def test_shape_tile_wins_majority_of_dataset(sweep):
+    wins = sum(
+        1
+        for e in sweep
+        if e[("tilespgemm", "3090")] == max(e[(m, "3090")] for m in PAPER_METHODS)
+    )
+    assert wins >= len(sweep) * 0.5, f"{wins}/{len(sweep)}"
+
+
+def test_shape_scalability_between_2_and_3(sweep):
+    for m in ("tilespgemm", "speck", "nsparse_hash"):
+        ratios = [
+            e[(m, "3090")] / e[(m, "3060")] for e in sweep if e[(m, "3060")] > 0
+        ]
+        g = geometric_mean(ratios)
+        assert 1.5 < g < 3.2, (m, g)
+
+
+def test_bench_one_sweep_point(benchmark):
+    """Wall-clock of the full method fleet on one mid-size matrix."""
+    spec = full_dataset()[0]
+    a = spec.matrix()
+    from repro.baselines import get_algorithm
+
+    def fleet():
+        return [get_algorithm(m)(a, a) for m in PAPER_METHODS]
+
+    results = benchmark.pedantic(fleet, rounds=1, iterations=1)
+    assert all(r.c.nnz > 0 for r in results)

@@ -1,0 +1,118 @@
+"""Figure 7: double-precision A^2 performance on the 18 representative
+matrices, five methods, modelled RTX 3090.
+
+Prints the same bar chart data the paper plots: estimated GFlops per
+(matrix, method), with failures shown as 0.00 exactly like the paper's
+'0.00' bars, plus the headline shape checks: TileSpGEMM wins everywhere
+except the sparsest matrices (mac_econ / mc2depi / cop20k_A / scircuit),
+peaks on the block-dense TSOPF analogue, and loses on the hypersparse
+cop20k analogue by a wide margin.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    METHOD_LABELS,
+    PAPER_METHODS,
+    run_method,
+    save_and_print,
+    tiled_of,
+)
+from repro.analysis import format_table, geometric_mean
+from repro.gpu import RTX3090, estimate_run
+from repro.matrices import representative_18
+
+#: Matrices where the paper's Figure 7 shows a row-row method beating
+#: TileSpGEMM (the low-compression / hypersparse cases).
+PAPER_TILE_LOSSES = {"mac_econ_fwd500", "mc2depi", "cop20k_A", "scircuit"}
+
+
+@pytest.fixture(scope="module")
+def gflops_table():
+    """GFlops per (matrix, method) on a *scaled-memory* RTX 3090 model.
+
+    Each analogue carries ~paper_flops/our_flops less work than its
+    original; scaling the device's DRAM capacity by the same factor
+    preserves the paper's out-of-memory outcomes (NSPARSE and bhSPARSE
+    dying on the block-dense matrices), per DESIGN.md's substitution rule.
+    """
+    from repro.baselines.base import flops_of_product
+
+    table = {}
+    for spec in representative_18():
+        a = spec.matrix()
+        scale = flops_of_product(a, a) / spec.paper.flops
+        device = RTX3090.scaled_memory(scale)
+        table[spec.name] = {
+            m: estimate_run(run_method(m, a), device).gflops for m in PAPER_METHODS
+        }
+    return table
+
+
+def test_fig7_report(benchmark, gflops_table):
+    rows = []
+    for name, per_method in gflops_table.items():
+        rows.append([name] + [f"{per_method[m]:.2f}" for m in PAPER_METHODS])
+    text = format_table(
+        ["matrix"] + [METHOD_LABELS[m] for m in PAPER_METHODS],
+        rows,
+        title="Figure 7: estimated GFlops, C = A^2, modelled RTX 3090",
+    )
+    geo = {m: geometric_mean([v[m] for v in gflops_table.values()]) for m in PAPER_METHODS}
+    text += "\n\ngeometric means: " + ", ".join(
+        f"{METHOD_LABELS[m]}={geo[m]:.2f}" for m in PAPER_METHODS
+    )
+    text += "\npaper (RTX3090 all-dataset means): cuSPARSE=30.8 bhSPARSE=11.5 NSPARSE=37.7 spECK=46.9 Tile=54.6"
+    benchmark.pedantic(save_and_print, args=("fig7_representative", text), rounds=1, iterations=1)
+
+
+def test_shape_tile_wins_majority(gflops_table):
+    wins = sum(
+        1
+        for per in gflops_table.values()
+        if per["tilespgemm"] == max(per.values())
+    )
+    assert wins >= 10, f"TileSpGEMM won only {wins}/18"
+
+
+def test_shape_tile_loses_sparse_cases(gflops_table):
+    """The paper's own weakness cases must remain losses (honest shape)."""
+    losses = [
+        name
+        for name in PAPER_TILE_LOSSES
+        if gflops_table[name]["tilespgemm"] < max(gflops_table[name].values())
+    ]
+    assert len(losses) >= 3, f"expected >=3 of {PAPER_TILE_LOSSES} as losses, got {losses}"
+
+
+def test_shape_block_dense_is_tile_peak(gflops_table):
+    """Tile's best throughput comes from the block-dense high-CR matrices."""
+    tile = {n: v["tilespgemm"] for n, v in gflops_table.items()}
+    best = max(tile, key=tile.get)
+    assert best in {"TSOPF_FS_b300_c2", "gupta3", "SiO2", "case39"}, best
+
+
+def test_shape_method_ordering(gflops_table):
+    """Arithmetic-mean ordering (the paper's 'average performance' list is
+    dominated by the high-throughput matrices): Tile > spECK > bhSPARSE,
+    and NSPARSE > bhSPARSE."""
+    import numpy as np
+
+    mean = {
+        m: float(np.mean([v[m] for v in gflops_table.values()])) for m in PAPER_METHODS
+    }
+    assert mean["tilespgemm"] > mean["speck"] > mean["bhsparse_esc"]
+    assert mean["nsparse_hash"] > mean["bhsparse_esc"]
+
+
+@pytest.mark.parametrize("method", PAPER_METHODS)
+def test_bench_representative(benchmark, method):
+    """Wall-clock of one full run per method on the 'cant' analogue."""
+    spec = next(s for s in representative_18() if s.name == "cant")
+    a = spec.matrix()
+    tiled_of(a)  # conversion outside the timed region, as the paper assumes
+    from repro.baselines import get_algorithm
+
+    kwargs = {"a_tiled": tiled_of(a), "b_tiled": tiled_of(a)} if method == "tilespgemm" else {}
+    res = benchmark.pedantic(lambda: get_algorithm(method)(a, a, **kwargs), rounds=1, iterations=1)
+    benchmark.extra_info["estimated_gflops_3090"] = estimate_run(res, RTX3090).gflops

@@ -1,0 +1,105 @@
+"""Figure 9: runtime peak space cost of C = A^2 on the 18 matrices.
+
+The paper plots live device memory against completion time for four
+methods (cuSPARSE is closed source and absent).  This bench prints each
+method's completion time (from the GPU model) and peak footprint (from
+the allocation ledger), plus per-matrix curves saved as step-point lists.
+Headline shapes: bhSPARSE's expansion buffer gives it the largest
+footprint on high-compression matrices, and TileSpGEMM — which allocates
+no global intermediate space — finishes smaller and earlier on most
+matrices, except the hypersparse cop20k analogue where its per-tile
+metadata blows up (the paper's own caveat).
+"""
+
+import pytest
+
+from benchmarks.conftest import METHOD_LABELS, run_method, save_and_print
+from repro.analysis import format_table
+from repro.gpu import RTX3090, memory_curve
+from repro.matrices import representative_18
+
+#: Figure 9 compares these four (no cuSPARSE — closed source).
+FIG9_METHODS = ["bhsparse_esc", "nsparse_hash", "speck", "tilespgemm"]
+
+
+@pytest.fixture(scope="module")
+def curves():
+    out = {}
+    for spec in representative_18():
+        a = spec.matrix()
+        out[spec.name] = {
+            m: memory_curve(run_method(m, a), RTX3090) for m in FIG9_METHODS
+        }
+    return out
+
+
+def test_fig9_report(benchmark, curves):
+    rows = []
+    for name, per in curves.items():
+        row = [name]
+        for m in FIG9_METHODS:
+            c = per[m]
+            row.append(f"{c.peak_mb:.2f}")
+            row.append(f"{c.total_ms:.3f}")
+        rows.append(row)
+    headers = ["matrix"]
+    for m in FIG9_METHODS:
+        headers += [f"{METHOD_LABELS[m]} MB", f"{METHOD_LABELS[m]} ms"]
+    text = format_table(
+        headers,
+        rows,
+        title="Figure 9: peak logical memory (MB) and completion time (ms), C = A^2",
+    )
+    benchmark.pedantic(save_and_print, args=("fig9_memory", text), rounds=1, iterations=1)
+
+
+def test_shape_expansion_methods_have_largest_footprint(curves):
+    """bhSPARSE's full intermediate buffer or NSPARSE's global hash tables
+    dominate the footprint on nearly every matrix (the paper's Figure 9:
+    both libraries die of memory on the block-dense matrices)."""
+    dominated = 0
+    for name, per in curves.items():
+        biggest = max(per, key=lambda m: per[m].peak_bytes)
+        if biggest in ("bhsparse_esc", "nsparse_hash"):
+            dominated += 1
+    assert dominated >= 14, dominated
+
+
+def test_shape_tile_smaller_than_esc_on_compressing_matrices(curves):
+    """Wherever the product actually compresses (CR > 2), TileSpGEMM's
+    footprint beats bhSPARSE's expansion buffer."""
+    from repro.matrices import representative_18
+
+    low_cr = {"mac_econ_fwd500", "mc2depi", "cop20k_A", "scircuit", "webbase-1M"}
+    for name, per in curves.items():
+        if name in low_cr:
+            continue
+        assert per["tilespgemm"].peak_bytes < per["bhsparse_esc"].peak_bytes, name
+
+
+def test_shape_cop20k_is_tiles_weakness(curves):
+    """On the hypersparse analogue the tiled metadata makes TileSpGEMM the
+    *largest* non-ESC footprint — the paper's own Figure 9 caveat."""
+    per = curves["cop20k_A"]
+    assert per["tilespgemm"].peak_bytes > per["speck"].peak_bytes
+    assert per["tilespgemm"].peak_bytes > per["nsparse_hash"].peak_bytes
+
+
+def test_curves_are_step_functions(curves):
+    for per in curves.values():
+        for c in per.values():
+            times = [t for t, _ in c.points]
+            assert times == sorted(times)
+            assert max(b for _, b in c.points) == c.peak_bytes
+
+
+def test_bench_memory_tracking_overhead(benchmark):
+    """Cost of one tracked run (ledger + curve building)."""
+    a = representative_18()[2].matrix()  # cant
+    from repro.baselines import get_algorithm
+
+    def tracked():
+        return memory_curve(get_algorithm("speck")(a, a), RTX3090)
+
+    curve = benchmark.pedantic(tracked, rounds=1, iterations=1)
+    assert curve.peak_bytes > 0

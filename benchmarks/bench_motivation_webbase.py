@@ -1,0 +1,91 @@
+"""Section 2.3 motivation: the webbase-1M imbalance study.
+
+The paper motivates the tiled decomposition with webbase-1M: of its
+1,000,005 rows, 3 need more than 100k operations while 999,812 need fewer
+than 100, so row-row methods leave the GPU idle; TileSpGEMM then runs
+2.17x / 7.26x / 3.11x / 1.96x faster than cuSPARSE / bhSPARSE / NSPARSE /
+spECK on C = A^2.  This bench regenerates both halves on the scaled
+analogue: the operation-count histogram, the decomposition imbalance
+factors (row tasks vs tile tasks), and the speedup row.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import METHOD_LABELS, PAPER_METHODS, run_method, save_and_print
+from repro.analysis import format_speedup, format_table
+from repro.baselines._expand import row_upper_bounds
+from repro.gpu import RTX3090, estimate_run, imbalance_factor
+from repro.matrices import get_matrix
+
+
+@pytest.fixture(scope="module")
+def webbase():
+    return get_matrix("webbase-1M")
+
+
+def test_motivation_report(benchmark, webbase):
+    ub = row_upper_bounds(webbase, webbase)
+    # The paper's thresholds, scaled by the documented flops scale factor
+    # (analogue carries ~14x fewer flops than webbase-1M's 139 Mflop).
+    hist_rows = [
+        ["> 10000 products", int((ub > 10_000).sum()), "3 rows > 100k ops"],
+        ["1000 - 10000", int(((ub > 1_000) & (ub <= 10_000)).sum()), "190 rows > 10k ops"],
+        ["100 - 1000", int(((ub > 100) & (ub <= 1_000)).sum()), "—"],
+        ["<= 100", int((ub <= 100).sum()), "999,812 rows < 100 ops"],
+    ]
+    text = format_table(
+        ["row operation class", "rows (analogue)", "paper (webbase-1M)"],
+        hist_rows,
+        title="Motivation (paper §2.3): webbase row-work histogram",
+    )
+
+    res_tile = run_method("tilespgemm", webbase)
+    ppt = np.asarray(res_tile.stats["products_per_tile"], dtype=float)
+    imb_rows = [
+        ["row-row (one task per row)", f"{imbalance_factor(ub.astype(float), 328):.1f}x"],
+        ["tiled (one task per C tile)", f"{imbalance_factor(ppt, 328):.1f}x"],
+    ]
+    text += "\n\n" + format_table(
+        ["decomposition", "makespan / perfect balance"],
+        imb_rows,
+        title="Load imbalance of the two decompositions (328 warp slots)",
+    )
+
+    tile_s = estimate_run(res_tile, RTX3090).seconds
+    speed_rows = []
+    paper = {"cusparse_spa": "2.17x", "bhsparse_esc": "7.26x", "nsparse_hash": "3.11x", "speck": "1.96x"}
+    for m in PAPER_METHODS:
+        if m == "tilespgemm":
+            continue
+        other_s = estimate_run(run_method(m, webbase), RTX3090).seconds
+        speed_rows.append([METHOD_LABELS[m], format_speedup(other_s / tile_s), paper[m]])
+    text += "\n\n" + format_table(
+        ["method", "TileSpGEMM speedup (model)", "paper"],
+        speed_rows,
+        title="TileSpGEMM speedup on the webbase analogue, C = A^2",
+    )
+    benchmark.pedantic(save_and_print, args=("motivation_webbase", text), rounds=1, iterations=1)
+
+
+def test_shape_few_rows_dominate(webbase):
+    ub = row_upper_bounds(webbase, webbase)
+    top3 = np.sort(ub)[-3:].sum()
+    assert top3 > 0.005 * ub.sum()
+    assert (ub <= 100).sum() > 0.95 * ub.size
+
+
+def test_shape_tiling_reduces_imbalance(webbase):
+    ub = row_upper_bounds(webbase, webbase).astype(float)
+    res = run_method("tilespgemm", webbase)
+    ppt = np.asarray(res.stats["products_per_tile"], dtype=float)
+    assert imbalance_factor(ppt, 328) < imbalance_factor(ub, 328)
+
+
+def test_bench_webbase_tile(benchmark, webbase):
+    from repro.baselines import get_algorithm
+
+    res = benchmark.pedantic(
+        lambda: get_algorithm("speck")(webbase, webbase), rounds=1, iterations=1
+    )
+    assert res.c.nnz > 0

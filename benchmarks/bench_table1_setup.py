@@ -1,0 +1,63 @@
+"""Table 1: the evaluated platforms and algorithms.
+
+Prints the reproduction's counterpart of the paper's Table 1 — the two
+modelled devices with their specifications, and the six algorithm
+implementations — and benchmarks a small end-to-end SpGEMM with each
+method as a smoke-level performance reference.
+"""
+
+import pytest
+
+from benchmarks.conftest import METHOD_LABELS, PAPER_METHODS, save_and_print
+from repro.analysis import format_table
+from repro.baselines import available_algorithms
+from repro.gpu import RTX3060, RTX3090
+from repro.matrices import generators
+
+_MATRIX = generators.banded(1200, 12, fill=0.9, seed=1).to_csr()
+
+
+def test_table1_report(benchmark):
+    device_rows = [
+        [
+            d.name,
+            d.num_sms,
+            d.cuda_cores,
+            f"{d.clock_ghz:.2f} GHz",
+            f"{d.dram_gb:.0f} GB",
+            f"{d.dram_bw_gbs:.1f} GB/s",
+        ]
+        for d in (RTX3060, RTX3090)
+    ]
+    algo_rows = [[METHOD_LABELS.get(m, m), m] for m in available_algorithms()]
+    text = (
+        format_table(
+            ["device model", "SMs", "CUDA cores", "clock", "DRAM", "bandwidth"],
+            device_rows,
+            title="Table 1a: modelled GPUs (paper: two NVIDIA Ampere GPUs)",
+        )
+        + "\n\n"
+        + format_table(
+            ["algorithm (paper counterpart)", "registry name"],
+            algo_rows,
+            title="Table 1b: algorithm implementations (* = strategy reimplementation)",
+        )
+    )
+    benchmark.pedantic(save_and_print, args=("table1_setup", text), rounds=1, iterations=1)
+    assert len(device_rows) == 2
+    assert len(algo_rows) >= 8
+
+
+@pytest.mark.parametrize("method", PAPER_METHODS)
+def test_bench_small_spgemm(benchmark, method):
+    """One small C = A^2 per method (wall-clock reference point)."""
+    from repro.baselines import get_algorithm
+
+    result = benchmark.pedantic(
+        lambda: get_algorithm(method)(_MATRIX, _MATRIX),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["nnz_c"] = result.c.nnz
+    benchmark.extra_info["gflops_measured"] = result.gflops()
+    assert result.c.nnz > 0

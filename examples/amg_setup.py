@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""AMG setup: the paper's flagship SpGEMM application.
+
+Algebraic multigrid solvers spend their setup phase computing Galerkin
+triple products ``A_coarse = P^T A P`` — chained SpGEMMs whose outputs
+feed the next level (which is why the paper assumes operands already live
+in the tiled format).  This example builds a multigrid hierarchy for a 2-D
+Poisson problem with TileSpGEMM, prints the hierarchy, and compares the
+SpGEMM engine choices on setup cost.
+
+Run:  python examples/amg_setup.py
+"""
+
+import time
+
+from repro.analysis import format_table
+from repro.apps import build_hierarchy
+from repro.matrices import generators
+
+
+def main() -> None:
+    nx_, ny = 64, 64
+    a = generators.stencil_2d(nx_, ny).to_csr()
+    print(f"fine operator: 5-point Poisson on {nx_}x{ny} grid "
+          f"(n = {a.shape[0]}, nnz = {a.nnz})\n")
+
+    hierarchy = build_hierarchy(a, max_levels=8, min_coarse=20, method="tilespgemm")
+
+    rows = []
+    for i, level in enumerate(hierarchy.levels):
+        rows.append(
+            [
+                i,
+                level.a.shape[0],
+                level.a.nnz,
+                f"{level.a.nnz / max(level.a.shape[0], 1):.1f}",
+                level.spgemm_flops,
+            ]
+        )
+    print(format_table(
+        ["level", "n", "nnz", "nnz/row", "SpGEMM flops"],
+        rows,
+        title="AMG hierarchy (aggregation coarsening, Galerkin products)",
+    ))
+    print(f"\noperator complexity: {hierarchy.operator_complexity:.3f}")
+    print(f"total setup SpGEMM flops: {hierarchy.total_spgemm_flops}")
+
+    # Compare SpGEMM engines on the same setup.
+    print("\nsetup wall time by SpGEMM method:")
+    for method in ("tilespgemm", "speck", "nsparse_hash", "bhsparse_esc"):
+        t0 = time.perf_counter()
+        build_hierarchy(a, max_levels=8, min_coarse=20, method=method)
+        print(f"  {method:14s} {(time.perf_counter() - t0) * 1e3:8.1f} ms")
+
+    # Close the loop: solve A x = b with V-cycles on the tiled operators
+    # (smoothing and residuals run as tiled SpMV — the format stays
+    # resident from setup through solve, the paper's AMG argument).
+    import numpy as np
+
+    from repro.apps import AMGSolver
+    from repro.core.spmv import csr_spmv
+
+    rng = np.random.default_rng(3)
+    x_true = rng.normal(size=a.shape[0])
+    b = csr_spmv(a, x_true)
+    for smoothed in (False, True):
+        solver = AMGSolver(a, smoothed_aggregation=smoothed)
+        result = solver.solve(b, tol=1e-8, max_cycles=80)
+        err = np.linalg.norm(result.x - x_true) / np.linalg.norm(x_true)
+        kind = "smoothed aggregation" if smoothed else "plain aggregation  "
+        print(f"\nV-cycle solve ({kind}): converged={result.converged} "
+              f"cycles={result.iterations} "
+              f"convergence factor={result.convergence_factor():.3f} "
+              f"relative error={err:.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Distributed SpGEMM: sparse SUMMA over a 2-D process grid.
+
+The paper notes its tiled data structure resembles distributed blocking
+SpGEMM "but optimized for GPUs without concerns on communication costs".
+This example makes those concerns concrete: the same product is computed
+on 1/4/9/16 modelled devices with TileSpGEMM as the local kernel, and the
+communication volume, critical path and scaling efficiency are printed.
+
+Run:  python examples/distributed_summa.py
+"""
+
+from repro.analysis import format_table
+from repro.baselines import get_algorithm
+from repro.distributed import ProcessGrid, summa_spgemm
+from repro.matrices import generators
+
+
+def main() -> None:
+    a = generators.banded(6000, 24, fill=0.9, seed=17).to_csr()
+    print(f"A: {a.shape[0]}x{a.shape[1]}, nnz = {a.nnz} (FEM band analogue)\n")
+
+    reference = get_algorithm("tilespgemm")(a, a).c
+    base = None
+    rows = []
+    for p in (1, 2, 3, 4):
+        grid = ProcessGrid(p, p)
+        res = summa_spgemm(a, a, grid)
+        assert res.c.allclose(reference), "distributed product diverged!"
+        if base is None:
+            base = res.critical_path_s
+        rows.append(
+            [
+                str(grid),
+                f"{res.critical_path_s * 1e3:.3f}",
+                f"{res.total_comm_volume / 1e6:.2f}",
+                f"{res.comm_fraction * 100:.1f}%",
+                f"{base / res.critical_path_s:.2f}x",
+                f"{res.compute_imbalance():.2f}",
+            ]
+        )
+    print(format_table(
+        ["grid", "critical path ms", "comm MB", "comm share", "speedup", "imbalance"],
+        rows,
+        title="Sparse SUMMA strong scaling (local kernel: TileSpGEMM; "
+        "NVLink-class alpha-beta interconnect)",
+    ))
+    print("\nEvery distributed product was verified against the single-device result.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Markov clustering: the paper's machine-learning SpGEMM workload.
+
+MCL's expansion step squares a column-stochastic matrix every iteration —
+a chain of SpGEMMs on a matrix whose sparsity drifts as inflation prunes
+it.  This example clusters a planted-partition graph and reports how much
+SpGEMM work the clustering consumed.
+
+Run:  python examples/markov_clustering.py
+"""
+
+import itertools
+
+import numpy as np
+
+from repro.apps import markov_clustering
+from repro.formats.coo import COOMatrix
+
+
+def planted_partition(groups: int, size: int, p_in: float, p_out: float, seed: int):
+    """A graph of ``groups`` communities with dense intra-community edges."""
+    rng = np.random.default_rng(seed)
+    n = groups * size
+    rows, cols = [], []
+    for i, j in itertools.combinations(range(n), 2):
+        same = i // size == j // size
+        if rng.random() < (p_in if same else p_out):
+            rows += [i, j]
+            cols += [j, i]
+    vals = np.ones(len(rows))
+    return COOMatrix((n, n), np.asarray(rows), np.asarray(cols), vals).to_csr(), n
+
+
+def main() -> None:
+    groups, size = 5, 12
+    adj, n = planted_partition(groups, size, p_in=0.85, p_out=0.02, seed=11)
+    print(f"planted-partition graph: {groups} communities x {size} nodes, "
+          f"{adj.nnz // 2} edges")
+
+    result = markov_clustering(adj, inflation=2.0, method="tilespgemm")
+    print(f"\nMCL converged: {result.converged} after {result.iterations} iterations")
+    print(f"SpGEMM flops spent in expansion steps: {result.total_spgemm_flops}")
+    print(f"clusters found: {len(result.clusters)}")
+
+    # Score against the planted communities.
+    correct = 0
+    for cluster in result.clusters:
+        communities = {v // size for v in cluster}
+        if len(communities) == 1 and len(cluster) == size:
+            correct += 1
+    print(f"exactly-recovered communities: {correct} / {groups}")
+    for i, cluster in enumerate(result.clusters):
+        print(f"  cluster {i}: {cluster}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Item-similarity mining with SpGEMM: a small recommender workflow.
+
+SpGEMM's database/data-mining use (one of the paper's §1 application
+domains): from a user-item interaction matrix, one ``A Aᵀ`` product gives
+item co-occurrence counts, row/column scaling turns them into cosine
+similarities, and a top-k filter yields the neighbourhood graph that
+item-based recommenders serve.
+
+Run:  python examples/recommender_similarity.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.apps import cosine_similarity, top_k_neighbors
+from repro.formats.coo import COOMatrix
+
+
+def synthetic_interactions(num_users: int, num_items: int, seed: int):
+    """Users with genre preferences: items cluster into 6 hidden genres."""
+    rng = np.random.default_rng(seed)
+    genres = rng.integers(0, 6, size=num_items)
+    rows, cols = [], []
+    for u in range(num_users):
+        liked_genres = rng.choice(6, size=rng.integers(1, 3), replace=False)
+        pool = np.flatnonzero(np.isin(genres, liked_genres))
+        picks = rng.choice(pool, size=min(rng.integers(5, 25), pool.size), replace=False)
+        rows.extend([u] * picks.size)
+        cols.extend(picks.tolist())
+        # a little cross-genre noise
+        noise = rng.choice(num_items, size=2)
+        rows.extend([u, u])
+        cols.extend(noise.tolist())
+    vals = np.ones(len(rows))
+    m = COOMatrix((num_users, num_items), np.array(rows), np.array(cols), vals)
+    return m.to_csr().transpose(), genres  # item x user incidence
+
+
+def main() -> None:
+    items, genres = synthetic_interactions(num_users=1200, num_items=400, seed=23)
+    print(f"interactions: {items.nnz} over {items.shape[0]} items x {items.shape[1]} users")
+
+    sim = cosine_similarity(items, method="tilespgemm")
+    print(f"similarity graph: {sim.nnz} nonzero pairs "
+          f"({sim.nnz / items.shape[0] ** 2:.2%} dense)")
+
+    knn = top_k_neighbors(sim, k=10)
+    print(f"10-NN graph: {knn.nnz} edges")
+
+    # Quality check: do nearest neighbours share the hidden genre?
+    hits = total = 0
+    for i in range(items.shape[0]):
+        cols, vals = knn.row(i)
+        if cols.size == 0:
+            continue
+        best = cols[np.argmax(vals)]
+        hits += int(genres[best] == genres[i])
+        total += 1
+    print(f"nearest neighbour shares the hidden genre: {hits}/{total} "
+          f"({hits / max(total, 1):.0%})")
+
+    # Show a few rows.
+    rows = []
+    for i in range(5):
+        cols, vals = knn.row(i)
+        order = np.argsort(vals)[::-1][:3]
+        rows.append(
+            [i, int(genres[i])]
+            + [f"{int(cols[j])} (g{int(genres[cols[j]])}, {vals[j]:.2f})" for j in order]
+        )
+    print("\n" + format_table(
+        ["item", "genre", "1st neighbour", "2nd", "3rd"],
+        rows,
+        title="Sample item neighbourhoods (genre labels were hidden from the pipeline)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+``pip install -e .`` through pyproject.toml is the supported path; this
+file exists so fully offline environments (no ``wheel`` package available
+for PEP-517 editable builds) can still do ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""TileSpGEMM reproduction: tiled parallel sparse matrix-matrix multiply.
+
+A from-scratch Python implementation of
+
+    Niu, Lu, Ji, Song, Jin, Liu.  "TileSpGEMM: A Tiled Algorithm for
+    Parallel Sparse General Matrix-Matrix Multiplication on GPUs."
+    PPoPP 2022.
+
+Quick start::
+
+    from repro import TileMatrix, tile_spgemm
+    from repro.matrices import generators
+
+    a = TileMatrix.from_coo(generators.banded(2000, 12, seed=1))
+    result = tile_spgemm(a, a)
+    print(result.c.nnz, result.timer.fractions())
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: the tiled sparse format and the three-step
+    TileSpGEMM algorithm.
+``repro.formats``
+    Sparse-format substrate: COO, CSR, CSB-M/CSB-I, MatrixMarket I/O.
+``repro.baselines``
+    From-scratch implementations of every compared method (cuSPARSE-class
+    SPA, bhSPARSE ESC, NSPARSE hash, spECK, tSparse, references).
+``repro.gpu``
+    The GPU execution model standing in for the paper's RTX 3060/3090.
+``repro.matrices``
+    Synthetic workload generators and the paper's named matrix suites.
+``repro.analysis``
+    Trend fitting, breakdown buckets, report tables.
+``repro.apps``
+    AMG, triangle counting and Markov clustering built on the SpGEMM API.
+"""
+
+from repro.core import (
+    TILE,
+    TileMatrix,
+    TileSpGEMMResult,
+    tile_spgemm,
+    tile_spgemm_from_csr,
+)
+from repro.formats import COOMatrix, CSBMatrix, CSRMatrix, read_mtx, write_mtx
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TILE",
+    "TileMatrix",
+    "TileSpGEMMResult",
+    "tile_spgemm",
+    "tile_spgemm_from_csr",
+    "COOMatrix",
+    "CSBMatrix",
+    "CSRMatrix",
+    "read_mtx",
+    "write_mtx",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro``: the paper artifact's command-line workflow."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

@@ -1,0 +1,25 @@
+"""Analysis utilities: trend fits, breakdown buckets, report tables."""
+
+from repro.analysis.breakdown import (
+    BUCKETS,
+    estimated_breakdown,
+    fractions,
+    measured_breakdown,
+)
+from repro.analysis.plotting import ascii_scatter
+from repro.analysis.regression import RegressionLine, fit_loglinear, geometric_mean
+from repro.analysis.reporting import format_speedup, format_table, paper_vs_measured_row
+
+__all__ = [
+    "BUCKETS",
+    "RegressionLine",
+    "ascii_scatter",
+    "estimated_breakdown",
+    "fit_loglinear",
+    "fractions",
+    "format_speedup",
+    "format_table",
+    "geometric_mean",
+    "measured_breakdown",
+    "paper_vs_measured_row",
+]

@@ -1,0 +1,85 @@
+"""Runtime-breakdown normalisation (Figures 10 and 14).
+
+Each algorithm times its own phases under names that reflect its structure
+(TileSpGEMM: ``step1/step2/step3/malloc``; ESC: ``analysis/expansion/
+sorting/compression``; …).  The breakdown figures need comparable buckets,
+so this module maps every method's phases onto the paper's four:
+
+* ``step1``  — layout / analysis work before the symbolic phase
+* ``step2``  — symbolic (structure-determining) work
+* ``step3``  — numeric work
+* ``malloc`` — memory allocation
+
+and provides helpers to extract the buckets either from measured wall
+time (:func:`measured_breakdown`) or from the GPU cost model's kernel
+estimates (:func:`estimated_breakdown`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.baselines.base import SpGEMMResult
+from repro.gpu.costmodel import GPUEstimate
+
+__all__ = ["BUCKETS", "measured_breakdown", "estimated_breakdown", "fractions"]
+
+#: Canonical bucket order of the paper's Figure 10.
+BUCKETS = ("step1", "step2", "step3", "malloc")
+
+#: phase-name -> bucket, across all methods in the repository.
+_PHASE_TO_BUCKET: Dict[str, str] = {
+    # TileSpGEMM
+    "step1": "step1",
+    "step2": "step2",
+    "step3": "step3",
+    "malloc": "malloc",
+    "format_conversion": "step1",
+    # row-row baselines
+    "analysis": "step1",
+    "symbolic": "step2",
+    "expansion": "step2",
+    "sorting": "step3",
+    "sort_compress": "step3",
+    "compression": "step3",
+    "numeric": "step3",
+    # tSparse
+    "tiling": "step1",
+    "densify": "step2",
+    "sparsify": "step3",
+    "dense_tile_gemm": "step3",
+    # misc
+    "setup": "malloc",
+}
+
+
+def _bucket(phase: str) -> str:
+    try:
+        return _PHASE_TO_BUCKET[phase]
+    except KeyError:
+        raise KeyError(f"phase {phase!r} has no breakdown bucket mapping") from None
+
+
+def measured_breakdown(result: SpGEMMResult) -> Dict[str, float]:
+    """Wall-clock seconds per canonical bucket for one run."""
+    out = {b: 0.0 for b in BUCKETS}
+    for phase, sec in result.timer.seconds.items():
+        out[_bucket(phase)] += sec
+    return out
+
+
+def estimated_breakdown(estimate: GPUEstimate) -> Dict[str, float]:
+    """Cost-model seconds per canonical bucket for one estimated run."""
+    out = {b: 0.0 for b in BUCKETS}
+    for k in estimate.kernels:
+        out[_bucket(k.name)] += k.seconds
+    out["malloc"] += estimate.malloc_s
+    return out
+
+
+def fractions(breakdown: Dict[str, float]) -> Dict[str, float]:
+    """Normalise a bucket dict to fractions of its total (sums to 1)."""
+    total = sum(breakdown.values())
+    if total <= 0:
+        return {k: 0.0 for k in breakdown}
+    return {k: v / total for k, v in breakdown.items()}

@@ -1,0 +1,96 @@
+"""Terminal scatter plots for the figure benches.
+
+The paper's Figure 6 is a scatter of GFlops against log10(compression
+rate) with one panel per method.  The benches print their numbers as
+tables; this module adds a compact ASCII scatter rendering so the shape —
+the rising trend, the low-CR cluster, the outliers — is visible directly
+in the bench output and in ``benchmarks/results/*.txt``, with no plotting
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_scatter"]
+
+
+def ascii_scatter(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 64,
+    height: int = 16,
+    logx: bool = True,
+    title: Optional[str] = None,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    marker: str = "o",
+) -> str:
+    """Render points as an ASCII scatter plot.
+
+    Parameters
+    ----------
+    x, y:
+        Point coordinates; non-finite or (with ``logx``) non-positive
+        points are dropped.
+    width, height:
+        Plot area in character cells.
+    logx:
+        Log10-scale the x axis (the paper's compression-rate axis).
+    title, xlabel, ylabel:
+        Labels.
+    marker:
+        Character plotted for a point ('#' marks cells holding 2+ points).
+    """
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    ok = np.isfinite(x) & np.isfinite(y)
+    if logx:
+        ok &= x > 0
+    x, y = x[ok], y[ok]
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if x.size == 0:
+        lines.append("(no points)")
+        return "\n".join(lines)
+
+    px = np.log10(x) if logx else x
+    x_lo, x_hi = float(px.min()), float(px.max())
+    y_lo, y_hi = float(min(y.min(), 0.0)), float(y.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    cols = np.clip(((px - x_lo) / (x_hi - x_lo) * (width - 1)).round().astype(int), 0, width - 1)
+    rows = np.clip(((y - y_lo) / (y_hi - y_lo) * (height - 1)).round().astype(int), 0, height - 1)
+    for c, r in zip(cols, rows):
+        cell = grid[height - 1 - r][c]
+        grid[height - 1 - r][c] = marker if cell == " " else "#"
+
+    y_top = f"{y_hi:.4g}"
+    y_bot = f"{y_lo:.4g}"
+    label_w = max(len(y_top), len(y_bot), len(ylabel))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = y_top.rjust(label_w)
+        elif i == height - 1:
+            prefix = y_bot.rjust(label_w)
+        elif i == height // 2:
+            prefix = ylabel.rjust(label_w)
+        else:
+            prefix = " " * label_w
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_w + " +" + "-" * width)
+    x_lo_label = f"{10 ** x_lo:.3g}" if logx else f"{x_lo:.3g}"
+    x_hi_label = f"{10 ** x_hi:.3g}" if logx else f"{x_hi:.3g}"
+    axis = f"{x_lo_label}{xlabel.center(width - len(x_lo_label) - len(x_hi_label))}{x_hi_label}"
+    lines.append(" " * (label_w + 2) + axis)
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Linear-regression trend lines for the Figure 6 reproduction.
+
+Figure 6 plots each method's GFlops against the matrix compression rate
+(log10 x-axis) and overlays a linear regression per method; the paper
+reads the slopes as "TileSpGEMM benefits most from higher compression
+rates".  This module fits those lines and reports the fit quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["RegressionLine", "fit_loglinear", "geometric_mean"]
+
+
+@dataclass(frozen=True)
+class RegressionLine:
+    """A fitted ``y = slope * log10(x) + intercept`` trend."""
+
+    slope: float
+    intercept: float
+    r_value: float  #: Pearson correlation of (log10 x, y)
+    n: int
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the trend at compression rates ``x``."""
+        return self.slope * np.log10(np.asarray(x, dtype=np.float64)) + self.intercept
+
+
+def fit_loglinear(x: Sequence[float], y: Sequence[float]) -> RegressionLine:
+    """Least-squares fit of ``y`` against ``log10(x)``.
+
+    Points with non-positive ``x`` or non-finite ``y`` are dropped (failed
+    runs report 0 GFlops and must not drag the trend, matching how the
+    paper's plots omit failed matrices).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    ok = (x > 0) & np.isfinite(y) & (y > 0)
+    x, y = x[ok], y[ok]
+    if x.size < 2:
+        return RegressionLine(0.0, float(y[0]) if y.size else 0.0, 0.0, int(x.size))
+    lx = np.log10(x)
+    slope, intercept = np.polyfit(lx, y, 1)
+    denom = lx.std() * y.std()
+    r = float(np.corrcoef(lx, y)[0, 1]) if denom > 0 else 0.0
+    return RegressionLine(float(slope), float(intercept), r, int(x.size))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean over the positive, finite entries.
+
+    The paper reports method-over-method speedups as geometric means;
+    zeros (failed runs) are excluded, as the paper excludes matrices a
+    method cannot complete.
+    """
+    v = np.asarray(values, dtype=np.float64)
+    v = v[np.isfinite(v) & (v > 0)]
+    if v.size == 0:
+        return 0.0
+    return float(np.exp(np.mean(np.log(v))))

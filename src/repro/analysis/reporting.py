@@ -1,0 +1,65 @@
+"""Plain-text table rendering for the benchmark harnesses.
+
+Every bench prints the rows/series its paper table or figure reports;
+this module renders them as aligned ASCII tables so the regenerated
+numbers read like the paper's artefact output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "format_speedup", "paper_vs_measured_row"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats go through ``float_fmt``; everything else through ``str``.
+    """
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        for i, s in enumerate(row):
+            widths[i] = max(widths[i], len(s))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(s.rjust(w) for s, w in zip(cells, widths))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def format_speedup(value: float) -> str:
+    """Render a speedup factor the way the paper prints them (``2.78x``)."""
+    if value <= 0 or value != value:
+        return "fail"
+    return f"{value:.2f}x"
+
+
+def paper_vs_measured_row(
+    name: str, paper: Dict[str, float], measured: Dict[str, float], keys: Sequence[str]
+) -> List[object]:
+    """Interleave paper/measured values for a comparison table row."""
+    row: List[object] = [name]
+    for k in keys:
+        row.append(paper.get(k, float("nan")))
+        row.append(measured.get(k, float("nan")))
+    return row

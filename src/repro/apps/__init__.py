@@ -1,0 +1,54 @@
+"""Motivating applications of the paper's introduction, built on SpGEMM:
+algebraic multigrid setup, triangle counting, and Markov clustering."""
+
+from repro.apps.amg_solver import AMGSolveResult, AMGSolver
+from repro.apps.amg import (
+    AMGHierarchy,
+    AMGLevel,
+    aggregation_prolongator,
+    build_hierarchy,
+    galerkin_product,
+    smoothed_prolongator,
+)
+from repro.apps.graphs import bfs_levels, lower_triangle, pagerank, triangle_count, two_hop_frontier
+from repro.apps.krylov import CGResult, amg_preconditioned_cg, conjugate_gradient
+from repro.apps.similarity import cooccurrence, cosine_similarity, top_k_neighbors
+from repro.apps.mcl import MCLResult, markov_clustering
+from repro.apps.sparse_ops import (
+    add,
+    column_sums,
+    elementwise_power,
+    hadamard,
+    normalize_columns,
+    scale_columns,
+)
+
+__all__ = [
+    "AMGHierarchy",
+    "AMGSolver",
+    "AMGSolveResult",
+    "AMGLevel",
+    "MCLResult",
+    "CGResult",
+    "amg_preconditioned_cg",
+    "conjugate_gradient",
+    "cooccurrence",
+    "cosine_similarity",
+    "top_k_neighbors",
+    "add",
+    "aggregation_prolongator",
+    "build_hierarchy",
+    "column_sums",
+    "elementwise_power",
+    "galerkin_product",
+    "smoothed_prolongator",
+    "hadamard",
+    "bfs_levels",
+    "lower_triangle",
+    "pagerank",
+    "markov_clustering",
+    "normalize_columns",
+    "scale_columns",
+    "triangle_count",
+    "two_hop_frontier",
+]

@@ -1,0 +1,146 @@
+"""Graph algorithms on SpGEMM: triangle counting and 2-hop BFS frontiers.
+
+Triangle counting is one of the paper's motivating GraphBLAS workloads:
+``#triangles = sum(L .* (L @ L)) `` for the strictly-lower-triangular part
+``L`` of an undirected adjacency matrix — one masked SpGEMM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.sparse_ops import hadamard
+from repro.baselines.base import get_algorithm
+from repro.formats.csr import CSRMatrix
+
+__all__ = ["bfs_levels", "lower_triangle", "pagerank", "triangle_count", "two_hop_frontier"]
+
+
+def lower_triangle(a: CSRMatrix) -> CSRMatrix:
+    """Strictly lower-triangular pattern of ``A`` with unit values."""
+    rows = a.row_indices_expanded()
+    keep = a.indices < rows
+    kept_csum = np.zeros(a.nnz + 1, dtype=np.int64)
+    np.cumsum(keep, out=kept_csum[1:])
+    return CSRMatrix(
+        a.shape, kept_csum[a.indptr], a.indices[keep], np.ones(int(keep.sum())), check=False
+    )
+
+
+def triangle_count(a: CSRMatrix, method: str = "tilespgemm", fused: bool = False) -> int:
+    """Count triangles of the undirected graph with adjacency ``A``.
+
+    Uses the masked-SpGEMM formulation ``sum(L .* (L L))`` where ``L`` is
+    the strictly lower triangle; self-loops and edge weights are ignored.
+
+    Parameters
+    ----------
+    a:
+        Adjacency matrix (symmetric pattern assumed).
+    method:
+        Registered SpGEMM method for the two-phase path.
+    fused:
+        Use the tiled masked-SpGEMM extension
+        (:func:`repro.core.masked.masked_tile_spgemm`): the mask is applied
+        inside the multiplication instead of as a separate Hadamard pass.
+    """
+    if a.shape[0] != a.shape[1]:
+        raise ValueError("adjacency matrix must be square")
+    l = lower_triangle(a)
+    if fused:
+        from repro.core import TileMatrix
+        from repro.core.masked import masked_tile_spgemm
+
+        lt = TileMatrix.from_csr(l)
+        res = masked_tile_spgemm(lt, lt, lt)
+        return int(round(res.c.val.sum()))
+    ll = get_algorithm(method)(l, l).c
+    masked = hadamard(ll, l)
+    return int(round(masked.val.sum()))
+
+
+def pagerank(
+    a: CSRMatrix,
+    damping: float = 0.85,
+    tol: float = 1e-10,
+    max_iters: int = 200,
+) -> np.ndarray:
+    """PageRank by power iteration on the resident tiled matrix.
+
+    The SpMV companion workload: once the adjacency lives in tiled form
+    (for SpGEMM analytics), ranking runs on the same structure via
+    :func:`repro.core.spmv.tile_spmv`.  Dangling nodes redistribute their
+    mass uniformly; returns the stationary distribution (sums to 1).
+    """
+    if a.shape[0] != a.shape[1]:
+        raise ValueError("PageRank needs a square adjacency matrix")
+    if not 0.0 < damping < 1.0:
+        raise ValueError("damping must lie in (0, 1)")
+    n = a.shape[0]
+    if n == 0:
+        return np.empty(0)
+    from repro.core.spmv import tile_spmv
+    from repro.core.tile_matrix import TileMatrix
+
+    # Column-stochastic transition: normalise each row, then transpose.
+    row_sums = np.zeros(n)
+    np.add.at(row_sums, a.row_indices_expanded(), np.abs(a.val))
+    inv = np.where(row_sums > 0, 1.0 / np.where(row_sums == 0, 1.0, row_sums), 0.0)
+    transition = TileMatrix.from_csr(a.scale_rows(inv).transpose())
+    dangling = row_sums == 0
+
+    rank = np.full(n, 1.0 / n)
+    for _ in range(max_iters):
+        dangling_mass = float(rank[dangling].sum())
+        new_rank = (
+            damping * (tile_spmv(transition, rank) + dangling_mass / n)
+            + (1.0 - damping) / n
+        )
+        if np.abs(new_rank - rank).sum() < tol:
+            return new_rank
+        rank = new_rank
+    return rank
+
+
+def bfs_levels(a: CSRMatrix, source: int) -> np.ndarray:
+    """Breadth-first distances by algebraic frontier expansion.
+
+    The paper's GraphBLAS BFS motivation: the frontier advances by one
+    SpMV per level on the resident tiled matrix (``frontier' = Aᵀ
+    frontier``, masked by the unvisited set).  Returns hop distances from
+    ``source`` (-1 for unreachable vertices).
+    """
+    if a.shape[0] != a.shape[1]:
+        raise ValueError("BFS needs a square adjacency matrix")
+    n = a.shape[0]
+    if not 0 <= source < n:
+        raise ValueError("source vertex out of range")
+    from repro.core.spmv import tile_spmv
+    from repro.core.tile_matrix import TileMatrix
+
+    at = TileMatrix.from_csr(a.transpose())
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.zeros(n)
+    frontier[source] = 1.0
+    level = 0
+    while frontier.any():
+        level += 1
+        reached = tile_spmv(at, frontier) != 0
+        fresh = reached & (dist < 0)
+        if not fresh.any():
+            break
+        dist[fresh] = level
+        frontier = fresh.astype(np.float64)
+    return dist
+
+
+def two_hop_frontier(a: CSRMatrix, method: str = "tilespgemm") -> CSRMatrix:
+    """All 2-hop reachability (``A^2`` pattern) — the BFS doubling step.
+
+    Breadth-first search by matrix algebra advances frontiers with
+    SpGEMM/SpMV; squaring the adjacency gives every vertex's two-hop
+    neighbourhood in one multiplication.
+    """
+    c = get_algorithm(method)(a, a).c
+    return c.prune(0.0)

@@ -1,0 +1,54 @@
+"""From-scratch implementations of every SpGEMM method the paper compares.
+
+Importing this package registers all algorithms in the
+:mod:`repro.baselines.base` registry:
+
+========================  ====================================================
+registry name             strategy (paper counterpart)
+========================  ====================================================
+``gustavson``             dict-accumulator row-row reference (Algorithm 1)
+``cusparse_spa``          dense-row sparse accumulator (cuSPARSE-class)
+``bhsparse_esc``          expansion/sort/compression + 38-bin analysis
+                          (bhSPARSE)
+``nsparse_hash``          two-phase hash with row binning (NSPARSE)
+``speck``                 lightweight analysis + hierarchical hash (spECK)
+``heap_merge``            per-row k-way heap merge (accumulator study)
+``rmerge``                hierarchical two-way row merging (RMerge)
+``tsparse``               dense tile-pair GEMMs (tSparse, tensor-core style)
+``tilespgemm``            this paper's method, adapted to the common API
+========================  ====================================================
+"""
+
+from repro.baselines.base import (
+    SpGEMMResult,
+    available_algorithms,
+    flops_of_product,
+    get_algorithm,
+    register,
+)
+from repro.baselines.gustavson import gustavson_spgemm
+from repro.baselines.spa import spa_spgemm
+from repro.baselines.esc import esc_spgemm
+from repro.baselines.hash_spgemm import hash_spgemm
+from repro.baselines.speck import speck_spgemm
+from repro.baselines.heap import heap_spgemm
+from repro.baselines.rmerge import rmerge_spgemm
+from repro.baselines.tsparse import tsparse_spgemm
+from repro.baselines.tile_adapter import tilespgemm_adapter
+
+__all__ = [
+    "SpGEMMResult",
+    "available_algorithms",
+    "flops_of_product",
+    "get_algorithm",
+    "register",
+    "gustavson_spgemm",
+    "spa_spgemm",
+    "esc_spgemm",
+    "hash_spgemm",
+    "speck_spgemm",
+    "heap_spgemm",
+    "rmerge_spgemm",
+    "tsparse_spgemm",
+    "tilespgemm_adapter",
+]

@@ -1,0 +1,102 @@
+"""Shared vectorised row-expansion kernels for the row-row baselines.
+
+Every row-row SpGEMM ultimately enumerates the intermediate products
+``a_ij * b_jk``; the baselines differ in *when* they enumerate them (one
+pass or two), *where* they put them (global expansion buffer, hash table,
+dense row) and how they bin rows for load balance.  The helpers here
+implement the common enumeration in NumPy so each baseline module can
+focus on its strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+from repro.util.arrays import concat_ranges
+
+__all__ = [
+    "row_upper_bounds",
+    "expand_products",
+    "expand_pattern",
+    "compress_sorted",
+]
+
+
+def row_upper_bounds(a: CSRMatrix, b: CSRMatrix) -> np.ndarray:
+    """Per-row intermediate-product counts of ``A @ B``.
+
+    This is the quantity every library's analysis phase computes first
+    (nnz of the *expanded* row, before accumulation merges duplicates).
+    """
+    b_row_len = np.diff(b.indptr)
+    ub = np.zeros(a.shape[0], dtype=np.int64)
+    if a.nnz:
+        np.add.at(ub, a.row_indices_expanded(), b_row_len[a.indices])
+    return ub
+
+
+def expand_products(
+    a: CSRMatrix, b: CSRMatrix
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Enumerate every intermediate product of ``A @ B``.
+
+    Returns ``(rows, cols, vals)`` of length ``flops / 2``: the COO
+    triplets *before* duplicate accumulation, in (A-nonzero, B-row) order.
+    """
+    b_row_len = np.diff(b.indptr)
+    rep = b_row_len[a.indices] if a.nnz else np.empty(0, dtype=np.int64)
+    rows = np.repeat(a.row_indices_expanded(), rep)
+    b_pos = concat_ranges(b.indptr[a.indices], rep)
+    cols = b.indices[b_pos]
+    vals = np.repeat(a.val, rep) * b.val[b_pos]
+    return rows, cols, vals
+
+
+def expand_pattern(a: CSRMatrix, b: CSRMatrix) -> Tuple[np.ndarray, np.ndarray]:
+    """Pattern-only variant of :func:`expand_products` (symbolic phases)."""
+    b_row_len = np.diff(b.indptr)
+    rep = b_row_len[a.indices] if a.nnz else np.empty(0, dtype=np.int64)
+    rows = np.repeat(a.row_indices_expanded(), rep)
+    cols = b.indices[concat_ranges(b.indptr[a.indices], rep)]
+    return rows, cols
+
+
+def compress_sorted(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    shape: Tuple[int, int],
+    assume_sorted: bool = False,
+) -> CSRMatrix:
+    """Sort intermediate products by (row, col) and sum duplicates.
+
+    The *sort* and *compress* stages of the ESC pipeline; also the closing
+    stage of the two-pass methods once their products are enumerated.
+    With ``assume_sorted=True`` the (row, col) keys must already be in
+    non-decreasing order and only the compression is performed.
+    """
+    nrows, ncols = shape
+    if rows.size == 0:
+        return CSRMatrix.empty(shape)
+    key = rows * ncols + cols
+    if assume_sorted:
+        key_s = key
+        vals_s = np.asarray(vals)
+    else:
+        order = np.argsort(key, kind="stable")
+        key_s = key[order]
+        vals_s = vals[order]
+    new = np.empty(key_s.size, dtype=bool)
+    new[0] = True
+    np.not_equal(key_s[1:], key_s[:-1], out=new[1:])
+    starts = np.flatnonzero(new)
+    out_key = key_s[starts]
+    out_val = np.add.reduceat(vals_s, starts)
+    out_rows = out_key // ncols
+    out_cols = out_key % ncols
+    indptr = np.zeros(nrows + 1, dtype=np.int64)
+    np.cumsum(np.bincount(out_rows, minlength=nrows), out=indptr[1:])
+    return CSRMatrix(shape, indptr, out_cols, out_val, check=False)

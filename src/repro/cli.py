@@ -1,0 +1,120 @@
+"""Command-line interface mirroring the paper artifact's ``./test`` binary.
+
+The original artifact is invoked as::
+
+    ./test -d 0 -aat 0 <path/to/matrix.mtx>
+
+and prints the eighteen output lines listed in its Appendix A.8.  This CLI
+reproduces that interface and output contract on the Python implementation
+(``-d`` selects a *modelled* device instead of a CUDA ordinal)::
+
+    python -m repro -d 0 -aat 0 path/to/matrix.mtx
+
+Exit status is 0 when the final cross-check against the NSPARSE-strategy
+baseline passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.baselines import get_algorithm
+from repro.baselines.base import flops_of_product
+from repro.core import TileMatrix, tile_spgemm
+from repro.formats.mtx import read_mtx
+from repro.gpu import RTX3060, RTX3090, estimate_run
+
+__all__ = ["main"]
+
+_DEVICES = [RTX3060, RTX3090]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="TileSpGEMM on a MatrixMarket file (paper artifact interface)",
+    )
+    parser.add_argument(
+        "-d",
+        type=int,
+        default=0,
+        metavar="DEVICE",
+        help="modelled GPU: 0 = RTX 3060, 1 = RTX 3090 (default 0)",
+    )
+    parser.add_argument(
+        "-aat",
+        type=int,
+        default=0,
+        choices=(0, 1),
+        metavar="AAT",
+        help="0 computes C = A^2 (default), 1 computes C = A A^T",
+    )
+    parser.add_argument("matrix", help="path to a MatrixMarket (*.mtx) file")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the artifact workflow; returns the process exit status."""
+    args = _build_parser().parse_args(argv)
+    if not 0 <= args.d < len(_DEVICES):
+        print(f"error: unknown device ordinal {args.d}", file=sys.stderr)
+        return 2
+    device = _DEVICES[args.d]
+
+    t0 = time.perf_counter()
+    coo = read_mtx(args.matrix)
+    load_s = time.perf_counter() - t0
+    a = coo.to_csr()
+
+    # Lines 1-2: input matrix information.
+    print(f"matrix: {args.matrix}")
+    print(f"rows = {a.shape[0]}, cols = {a.shape[1]}, nnz = {a.nnz}")
+    # Line 3: loading time.
+    print(f"file loading time: {load_s:.6f} s")
+    # Line 4: tile size.
+    print("tile size: 16 x 16")
+
+    b = a.transpose() if args.aat else a
+    # Line 5: flop count.
+    print(f"#flops: {flops_of_product(a, b)}")
+
+    # Line 6: CSR -> tiled conversion time.
+    t0 = time.perf_counter()
+    at = TileMatrix.from_csr(a)
+    bt = at if not args.aat else TileMatrix.from_csr(b)
+    conv_ms = (time.perf_counter() - t0) * 1e3
+    print(f"CSR->tiled conversion time: {conv_ms:.3f} ms")
+    # Line 7: tiled structure space.
+    print(f"tiled data structure space: {at.memory_bytes() / 1e6:.6f} MB")
+
+    result = tile_spgemm(at, bt)
+    # Lines 8-14: step and allocation times.
+    for phase in ("step1", "step2", "step3"):
+        print(f"{phase} time: {result.timer.seconds.get(phase, 0.0) * 1e3:.3f} ms")
+    print(f"memory allocation time: {result.timer.seconds.get('malloc', 0.0) * 1e3:.3f} ms")
+    print(f"peak logical device memory: {result.alloc.peak_bytes / 1e6:.6f} MB")
+    adapter = get_algorithm("tilespgemm")(a, b, a_tiled=at, b_tiled=bt)
+    est = estimate_run(adapter, device)
+    print(f"estimated runtime on {device.name}: {est.seconds * 1e3:.3f} ms")
+    print(f"estimated throughput on {device.name}: {est.gflops:.2f} GFlops")
+
+    # Lines 15-17: result sizes and measured throughput.
+    print(f"number of tiles of C: {result.c.num_tiles}")
+    print(f"number of nonzeros of C: {result.c.nnz}")
+    print(
+        f"TileSpGEMM runtime: {result.timer.total * 1e3:.3f} ms "
+        f"({result.gflops():.3f} GFlops measured in Python)"
+    )
+
+    # Line 18: cross-check against another library's output.
+    reference = get_algorithm("nsparse_hash")(a, b).c
+    ok = result.c.to_csr().allclose(reference)
+    print(f"check passed: {'yes' if ok else 'NO'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""The paper's primary contribution: the tiled format and TileSpGEMM.
+
+Public surface:
+
+* :class:`~repro.core.tile_matrix.TileMatrix` — the two-level sparse tile
+  data structure (paper §3.2).
+* :func:`~repro.core.tilespgemm.tile_spgemm` /
+  :func:`~repro.core.tilespgemm.tile_spgemm_from_csr` — the three-step
+  SpGEMM algorithm (paper §3.3).
+* The individual steps (:mod:`~repro.core.step1`, :mod:`~repro.core.step2`,
+  :mod:`~repro.core.step3`), pair enumeration (:mod:`~repro.core.pairs`)
+  and set-intersection kernels (:mod:`~repro.core.intersect`) are exposed
+  for analysis, ablations and tests.
+"""
+
+from repro.core.intersect import (
+    binary_search_cost,
+    intersect,
+    intersect_binary,
+    intersect_merge,
+    merge_cost,
+)
+from repro.core.masked import masked_tile_spgemm
+from repro.core.pairs import TilePairs, enumerate_pairs_expand, enumerate_pairs_intersect
+from repro.core.spmv import csr_spmv, tile_spmv
+from repro.core.sptrsv import LevelScheduleStats, level_schedule, sptrsv
+from repro.core.step1 import TileLayout, step1_tile_layout, symbolic_spgemm_pattern
+from repro.core.step2 import SymbolicResult, step2_symbolic
+from repro.core.step3 import DEFAULT_TNNZ, NumericResult, step3_numeric
+from repro.core.tile_matrix import TILE, TileMatrix, mask_dtype_for
+from repro.core.tilespgemm import TileSpGEMMResult, tile_spgemm, tile_spgemm_from_csr
+
+__all__ = [
+    "TILE",
+    "TileMatrix",
+    "mask_dtype_for",
+    "TileLayout",
+    "TilePairs",
+    "SymbolicResult",
+    "NumericResult",
+    "TileSpGEMMResult",
+    "DEFAULT_TNNZ",
+    "tile_spgemm",
+    "tile_spgemm_from_csr",
+    "masked_tile_spgemm",
+    "tile_spmv",
+    "csr_spmv",
+    "sptrsv",
+    "level_schedule",
+    "LevelScheduleStats",
+    "step1_tile_layout",
+    "symbolic_spgemm_pattern",
+    "step2_symbolic",
+    "step3_numeric",
+    "enumerate_pairs_expand",
+    "enumerate_pairs_intersect",
+    "intersect",
+    "intersect_binary",
+    "intersect_merge",
+    "binary_search_cost",
+    "merge_cost",
+]

@@ -1,0 +1,131 @@
+"""Sorted-set intersection kernels for step 2 of TileSpGEMM.
+
+To compute tile ``C_ij``, TileSpGEMM must match the non-empty tiles of
+``A``'s tile row ``i`` against the non-empty tiles of ``B``'s tile column
+``j``: the intersection of two sorted index lists (paper Algorithm 2,
+lines 6–18).  The paper evaluates two strategies and picks binary search:
+
+* **merge** — two pointers walk both lists (``O(len_a + len_b)`` serial
+  steps; poor GPU parallelism because the walk is sequential);
+* **binary search** — one thread per element of the *shorter* list
+  searches the longer list (``O(min * log(max))`` with ``min``-way
+  parallelism).  The paper additionally narrows each search's left bound
+  to just past the previous match, which this implementation mirrors.
+
+Both are implemented here with identical results, along with closed-form
+work/depth cost estimates that the GPU execution model uses to reproduce
+the paper's observation that binary search wins on GPUs.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "intersect_merge",
+    "intersect_binary",
+    "intersect",
+    "binary_search_cost",
+    "merge_cost",
+]
+
+
+def intersect_merge(a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Intersect two strictly increasing int arrays by two-pointer merge.
+
+    Returns
+    -------
+    (pos_a, pos_b):
+        Positions of the common values in ``a`` and ``b`` respectively.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    pos_a = []
+    pos_b = []
+    i = j = 0
+    na, nb = a.size, b.size
+    while i < na and j < nb:
+        av, bv = a[i], b[j]
+        if av == bv:
+            pos_a.append(i)
+            pos_b.append(j)
+            i += 1
+            j += 1
+        elif av < bv:
+            i += 1
+        else:
+            j += 1
+    return (
+        np.asarray(pos_a, dtype=np.int64),
+        np.asarray(pos_b, dtype=np.int64),
+    )
+
+
+def intersect_binary(a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Intersect two strictly increasing int arrays by binary search.
+
+    Each element of the shorter array is binary-searched in the longer
+    one, with the left bound advanced past the previous match — the exact
+    narrowing optimisation of the paper's Algorithm 2.  NumPy's
+    ``searchsorted`` performs the batched binary searches; the narrowing is
+    implicit because results of a sorted-needle batched search are already
+    monotone.
+
+    Returns positions in the same ``(pos_a, pos_b)`` convention as
+    :func:`intersect_merge` regardless of which array was shorter.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    swapped = a.size > b.size
+    short, long_ = (b, a) if swapped else (a, b)
+    if short.size == 0 or long_.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    loc = np.searchsorted(long_, short)
+    in_range = loc < long_.size
+    hit = np.zeros(short.size, dtype=bool)
+    hit[in_range] = long_[loc[in_range]] == short[in_range]
+    pos_short = np.flatnonzero(hit)
+    pos_long = loc[hit]
+    if swapped:
+        return pos_long, pos_short
+    return pos_short, pos_long
+
+
+def intersect(a: np.ndarray, b: np.ndarray, method: str = "binary") -> Tuple[np.ndarray, np.ndarray]:
+    """Dispatch to :func:`intersect_binary` or :func:`intersect_merge`."""
+    if method == "binary":
+        return intersect_binary(a, b)
+    if method == "merge":
+        return intersect_merge(a, b)
+    raise ValueError(f"unknown intersection method {method!r}")
+
+
+def binary_search_cost(len_a: np.ndarray, len_b: np.ndarray) -> np.ndarray:
+    """Parallel-depth cost (per-warp cycles proxy) of the binary variant.
+
+    One warp handles one C tile; the ``min(len_a, len_b)`` searches run
+    across the warp's lanes in waves of 32, each search costing
+    ``log2(max_len) + 1`` comparisons.
+    """
+    len_a = np.asarray(len_a, dtype=np.float64)
+    len_b = np.asarray(len_b, dtype=np.float64)
+    short = np.minimum(len_a, len_b)
+    long_ = np.maximum(len_a, len_b)
+    waves = np.ceil(short / 32.0)
+    per_search = np.log2(np.maximum(long_, 2.0)) + 1.0
+    return waves * per_search
+
+
+def merge_cost(len_a: np.ndarray, len_b: np.ndarray) -> np.ndarray:
+    """Parallel-depth cost of the serial two-pointer merge.
+
+    The merge walk is inherently sequential: one lane of the warp performs
+    ``len_a + len_b`` steps while the rest idle, which is exactly why the
+    paper found it slower than binary search.
+    """
+    len_a = np.asarray(len_a, dtype=np.float64)
+    len_b = np.asarray(len_b, dtype=np.float64)
+    return len_a + len_b

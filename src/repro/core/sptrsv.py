@@ -1,0 +1,127 @@
+"""Level-scheduled sparse triangular solve (the group's SpTRSV line).
+
+The TileSpGEMM authors' companion work (swSpTRSV, PPoPP'18; tiled SpTRSV
+blocks, ICPP'20 — the paper's references [102]/[84]) optimises ``L x = b``
+for sparse lower-triangular ``L``.  A sparse triangular solve is also what
+AMG's Gauss-Seidel smoothers apply every cycle, so this module gives the
+solver stack its remaining kernel:
+
+* :func:`level_schedule` — partition the unknowns into dependency levels
+  (all unknowns of one level solve in parallel: the classic set-based
+  scheduling of Saltz/Anderson that the tiled SpTRSV papers build on);
+* :func:`sptrsv` — execute the solve level by level, vectorised within
+  each level;
+* :class:`LevelScheduleStats` — level count and width histogram, the
+  parallelism profile the SpTRSV papers analyse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+
+__all__ = ["LevelScheduleStats", "level_schedule", "sptrsv"]
+
+
+@dataclass
+class LevelScheduleStats:
+    """Parallelism profile of a triangular matrix's dependency DAG."""
+
+    num_levels: int
+    level_sizes: np.ndarray
+
+    @property
+    def max_parallelism(self) -> int:
+        return int(self.level_sizes.max()) if self.level_sizes.size else 0
+
+    @property
+    def average_parallelism(self) -> float:
+        if self.num_levels == 0:
+            return 0.0
+        return float(self.level_sizes.sum() / self.num_levels)
+
+
+def level_schedule(l: CSRMatrix) -> Tuple[List[np.ndarray], LevelScheduleStats]:
+    """Dependency levels of a lower-triangular system.
+
+    Row ``i``'s level is ``1 + max(level of its off-diagonal columns)``;
+    rows with no off-diagonal entries form level 0.  Rows within one level
+    are mutually independent and solve in parallel.
+
+    Raises ``ValueError`` if ``l`` has entries above the diagonal.
+    """
+    n = l.shape[0]
+    if l.shape[0] != l.shape[1]:
+        raise ValueError("triangular solve needs a square matrix")
+    rows = l.row_indices_expanded()
+    if l.nnz and np.any(l.indices > rows):
+        raise ValueError("matrix has entries above the diagonal")
+
+    level = np.zeros(n, dtype=np.int64)
+    # Rows are topologically ordered in a lower-triangular matrix (row i
+    # depends only on j < i), so one forward sweep suffices.
+    for i in range(n):
+        lo, hi = l.indptr[i], l.indptr[i + 1]
+        cols = l.indices[lo:hi]
+        off = cols[cols < i]
+        if off.size:
+            level[i] = level[off].max() + 1
+    num_levels = int(level.max()) + 1 if n else 0
+    levels = [np.flatnonzero(level == k) for k in range(num_levels)]
+    sizes = np.array([lv.size for lv in levels], dtype=np.int64)
+    return levels, LevelScheduleStats(num_levels=num_levels, level_sizes=sizes)
+
+
+def sptrsv(l: CSRMatrix, b: np.ndarray, unit_diagonal: bool = False) -> np.ndarray:
+    """Solve ``L x = b`` for lower-triangular ``L``, level by level.
+
+    Parameters
+    ----------
+    l:
+        Lower-triangular matrix; the diagonal must be stored and nonzero
+        unless ``unit_diagonal`` is set.
+    b:
+        Right-hand side.
+    unit_diagonal:
+        Treat the diagonal as all ones (any stored diagonal is ignored).
+    """
+    n = l.shape[0]
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (n,):
+        raise ValueError("right-hand side length mismatch")
+    levels, _ = level_schedule(l)
+
+    rows_all = l.row_indices_expanded()
+    diag = np.zeros(n)
+    on_diag = rows_all == l.indices
+    diag[rows_all[on_diag]] = l.val[on_diag]
+    if unit_diagonal:
+        diag = np.ones(n)
+    elif n and np.any(diag == 0):
+        raise ValueError("zero on the diagonal; the system is singular")
+
+    x = np.zeros(n)
+    for rows in levels:
+        # Gather each level-row's off-diagonal dot product, vectorised
+        # across the whole level (the per-level kernel of tiled SpTRSV).
+        lo = l.indptr[rows]
+        hi = l.indptr[rows + 1]
+        lengths = hi - lo
+        if lengths.sum() == 0:
+            x[rows] = b[rows] / diag[rows]
+            continue
+        from repro.util.arrays import concat_ranges
+
+        idx = concat_ranges(lo, lengths)
+        cols = l.indices[idx]
+        vals = l.val[idx]
+        owner = np.repeat(rows, lengths)
+        off = cols < owner
+        contrib = np.zeros(n)
+        np.add.at(contrib, owner[off], vals[off] * x[cols[off]])
+        x[rows] = (b[rows] - contrib[rows]) / diag[rows]
+    return x

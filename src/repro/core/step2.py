@@ -1,0 +1,116 @@
+"""Step 2 of TileSpGEMM: the symbolic phase (paper §3.3, Algorithm 2).
+
+Given the candidate tiles of ``C`` and the matched ``(A_ik, B_kj)`` tile
+pairs, this step determines each candidate tile's bit masks, row pointer
+and nonzero count — everything needed to allocate ``C`` — without touching
+values.
+
+The kernel is the paper's Figure 5 verbatim, vectorised: for every matched
+pair, every nonzero of the ``A`` tile (local position ``(r, c)``) ORs the
+``c``-th row mask of the ``B`` tile onto the ``r``-th row mask of the ``C``
+tile.  The CUDA ``AtomicOr`` becomes an unbuffered ``np.bitwise_or.at``
+scatter; the per-tile row pointers then fall out of mask popcounts plus a
+prefix scan, exactly as in the paper.
+
+All working state of this step is bounded by ``num_c_tiles * tile_size``
+mask words — the Python analogue of the paper's claim that step 2 runs
+entirely in on-chip scratchpad memory with no global intermediate arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pairs import TilePairs
+from repro.core.tile_matrix import TileMatrix, mask_dtype_for
+from repro.util.arrays import concat_ranges
+from repro.util.bits import popcount16
+
+__all__ = ["SymbolicResult", "step2_symbolic"]
+
+
+@dataclass
+class SymbolicResult:
+    """Output of the symbolic phase for the candidate tiles of ``C``.
+
+    Attributes
+    ----------
+    mask:
+        ``(num_c_tiles, T)`` row masks of every candidate tile.
+    rowptr:
+        ``(num_c_tiles, T)`` per-tile CSR row pointers (paper convention:
+        ``T`` entries, the implicit last offset is the tile's nnz).
+    tilennz:
+        ``(num_c_tiles + 1)`` offsets of each tile's nonzeros in the value
+        array to be allocated.
+    tile_nnz_counts:
+        Per-tile nonzero counts (``diff(tilennz)``).
+    symbolic_ops:
+        Number of mask-OR operations performed (cost-model input): one per
+        (pair, A-tile nonzero).
+    pair_a_nnz:
+        Per-pair nonzero count of the pair's ``A`` tile (cost-model input).
+    """
+
+    mask: np.ndarray
+    rowptr: np.ndarray
+    tilennz: np.ndarray
+    tile_nnz_counts: np.ndarray
+    symbolic_ops: int
+    pair_a_nnz: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        """Total nonzeros of ``C`` (sum over candidate tiles)."""
+        return int(self.tilennz[-1])
+
+
+def step2_symbolic(a: TileMatrix, b: TileMatrix, pairs: TilePairs) -> SymbolicResult:
+    """Run the symbolic phase over all candidate tiles at once."""
+    T = a.tile_size
+    if T != b.tile_size:
+        raise ValueError("A and B must use the same tile size")
+    if T > 16:
+        raise ValueError("the SpGEMM kernels support tile sizes up to 16")
+    mask_dtype = mask_dtype_for(T)
+    num_c = pairs.num_c_tiles
+    mask_c = np.zeros((num_c, T), dtype=mask_dtype)
+
+    a_counts = a.tile_nnz_counts()
+    pair_a_nnz = a_counts[pairs.pair_a] if pairs.num_pairs else np.empty(0, dtype=np.int64)
+
+    if pairs.num_pairs:
+        # Expand every pair into its A tile's nonzeros.
+        a_nnz_idx = concat_ranges(a.tilennz[pairs.pair_a], pair_a_nnz)
+        pair_of_nnz = np.repeat(np.arange(pairs.num_pairs, dtype=np.int64), pair_a_nnz)
+        c_slot = pairs.pair_c_slot()[pair_of_nnz]
+        b_tile = pairs.pair_b[pair_of_nnz]
+
+        r = a.rowidx[a_nnz_idx].astype(np.int64)
+        c = a.colidx[a_nnz_idx].astype(np.int64)
+        # AtomicOr(mask_C[slot, r], mask_B[b_tile, c]) for every A nonzero.
+        flat = mask_c.reshape(-1)
+        np.bitwise_or.at(flat, c_slot * T + r, b.mask[b_tile, c])
+        symbolic_ops = int(a_nnz_idx.size)
+    else:
+        symbolic_ops = 0
+
+    counts_per_row = popcount16(mask_c).astype(np.int64)
+    rowptr = np.zeros_like(counts_per_row)
+    if num_c:
+        np.cumsum(counts_per_row[:, :-1], axis=1, out=rowptr[:, 1:])
+    tile_counts = counts_per_row.sum(axis=1) if num_c else np.zeros(0, dtype=np.int64)
+    tilennz = np.zeros(num_c + 1, dtype=np.int64)
+    np.cumsum(tile_counts, out=tilennz[1:])
+
+    rowptr_dtype = np.uint8 if T * T <= 256 else np.uint16
+    return SymbolicResult(
+        mask=mask_c,
+        rowptr=rowptr.astype(rowptr_dtype),
+        tilennz=tilennz,
+        tile_nnz_counts=tile_counts,
+        symbolic_ops=symbolic_ops,
+        pair_a_nnz=pair_a_nnz,
+    )

@@ -1,0 +1,17 @@
+"""Distributed blocked SpGEMM (extension): SUMMA over the tile grid.
+
+The paper's related-work section notes that TileSpGEMM's data structure
+"is more like the distributed blocking SpGEMM methods, but optimized for
+GPUs without concerns on communication costs" (Buluc & Gilbert's 2-D
+formulations).  This extension closes that loop: it runs the classic
+sparse SUMMA algorithm over a 2-D process grid whose blocks align with the
+tile grid, computing the same product while *accounting for the
+communication* a multi-device deployment would pay — panel broadcast
+volumes per stage, an alpha-beta time model, and per-process compute
+balance.
+"""
+
+from repro.distributed.grid import ProcessGrid
+from repro.distributed.summa import DistributedSpGEMMResult, summa_spgemm
+
+__all__ = ["ProcessGrid", "DistributedSpGEMMResult", "summa_spgemm"]

@@ -1,0 +1,72 @@
+"""2-D process grids and block ownership for distributed SpGEMM."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+__all__ = ["ProcessGrid"]
+
+
+@dataclass(frozen=True)
+class ProcessGrid:
+    """A ``p_rows x p_cols`` process grid over a matrix's index space.
+
+    Rows and columns of the global matrix are split into contiguous block
+    ranges, aligned to tile boundaries so every owner block converts
+    cleanly into the tiled format.
+
+    Parameters
+    ----------
+    p_rows, p_cols:
+        Grid dimensions (process count is their product).
+    tile_size:
+        Alignment unit for the block boundaries (16 matches TileSpGEMM).
+    """
+
+    p_rows: int
+    p_cols: int
+    tile_size: int = 16
+
+    def __post_init__(self) -> None:
+        if self.p_rows < 1 or self.p_cols < 1:
+            raise ValueError("grid dimensions must be positive")
+
+    @property
+    def num_processes(self) -> int:
+        return self.p_rows * self.p_cols
+
+    def row_blocks(self, nrows: int) -> List[Tuple[int, int]]:
+        """Contiguous, tile-aligned row ranges, one per grid row."""
+        return self._blocks(nrows, self.p_rows)
+
+    def col_blocks(self, ncols: int) -> List[Tuple[int, int]]:
+        """Contiguous, tile-aligned column ranges, one per grid column."""
+        return self._blocks(ncols, self.p_cols)
+
+    def _blocks(self, extent: int, parts: int) -> List[Tuple[int, int]]:
+        T = self.tile_size
+        tiles = -(-extent // T) if extent else 0
+        # Distribute tiles as evenly as possible, then convert to indices.
+        base = tiles // parts
+        extra = tiles % parts
+        out: List[Tuple[int, int]] = []
+        start_tile = 0
+        for p in range(parts):
+            size = base + (1 if p < extra else 0)
+            end_tile = start_tile + size
+            out.append((min(start_tile * T, extent), min(end_tile * T, extent)))
+            start_tile = end_tile
+        return out
+
+    def owner(self, i: int, j: int, shape: Tuple[int, int]) -> Tuple[int, int]:
+        """Grid coordinates of the process owning global entry ``(i, j)``."""
+        rb = self.row_blocks(shape[0])
+        cb = self.col_blocks(shape[1])
+        pi = next(p for p, (lo, hi) in enumerate(rb) if lo <= i < hi or (i == lo == hi))
+        pj = next(p for p, (lo, hi) in enumerate(cb) if lo <= j < hi or (j == lo == hi))
+        return pi, pj
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"{self.p_rows}x{self.p_cols} grid ({self.num_processes} processes)"

@@ -1,0 +1,27 @@
+"""Sparse-matrix format substrate.
+
+The paper's system sits on top of standard sparse storage: matrices arrive
+in CSR (converted from MatrixMarket files), are compared for space against
+the CSB-M / CSB-I compressed-sparse-block formats of Buluc et al., and are
+converted into the paper's tiled format (which lives in :mod:`repro.core`).
+
+This package implements that substrate from scratch on NumPy arrays:
+
+* :class:`~repro.formats.coo.COOMatrix` — coordinate triplets, the exchange
+  format used by the MatrixMarket reader and by format converters.
+* :class:`~repro.formats.csr.CSRMatrix` — compressed sparse row storage with
+  the kernels the algorithms need (transpose, row slicing, duplicate
+  summing, dense conversion, exact byte accounting).
+* :class:`~repro.formats.csb.CSBMatrix` — compressed sparse blocks in the
+  two index-compression variants the paper benchmarks (CSB-M, CSB-I) for
+  the Figure 11 space comparison.
+* :mod:`~repro.formats.mtx` — MatrixMarket (``*.mtx``) reader/writer, the
+  paper artifact's only input format.
+"""
+
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.csb import CSBMatrix
+from repro.formats.mtx import read_mtx, write_mtx
+
+__all__ = ["COOMatrix", "CSRMatrix", "CSBMatrix", "read_mtx", "write_mtx"]

@@ -1,0 +1,149 @@
+"""Coordinate (COO) sparse matrix container.
+
+COO is the exchange format of this library: the MatrixMarket reader
+produces it, the synthetic workload generators produce it, and every other
+format converts from/to it.  It stores three parallel arrays ``row``,
+``col`` and ``val``; duplicates are permitted until
+:meth:`COOMatrix.sum_duplicates` is called.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["COOMatrix"]
+
+
+class COOMatrix:
+    """A sparse matrix stored as (row, col, value) triplets.
+
+    Parameters
+    ----------
+    shape:
+        ``(nrows, ncols)`` of the matrix.
+    row, col:
+        Integer index arrays of equal length.  Stored as ``int64``.
+    val:
+        Values array of the same length.  Stored as ``float64`` unless
+        another floating dtype is passed explicitly.
+    """
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        row: np.ndarray,
+        col: np.ndarray,
+        val: np.ndarray,
+    ) -> None:
+        nrows, ncols = int(shape[0]), int(shape[1])
+        if nrows < 0 or ncols < 0:
+            raise ValueError(f"negative matrix dimensions: {shape}")
+        self.shape: Tuple[int, int] = (nrows, ncols)
+        self.row = np.ascontiguousarray(row, dtype=np.int64)
+        self.col = np.ascontiguousarray(col, dtype=np.int64)
+        self.val = np.ascontiguousarray(val)
+        if self.val.dtype.kind != "f":
+            self.val = self.val.astype(np.float64)
+        if not (self.row.shape == self.col.shape == self.val.shape):
+            raise ValueError("row, col and val must have identical lengths")
+        if self.row.size:
+            if self.row.min() < 0 or self.row.max() >= nrows:
+                raise ValueError("row index out of bounds")
+            if self.col.min() < 0 or self.col.max() >= ncols:
+                raise ValueError("column index out of bounds")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, shape: Tuple[int, int], dtype=np.float64) -> "COOMatrix":
+        """An all-zero matrix of the given shape."""
+        z = np.empty(0, dtype=np.int64)
+        return cls(shape, z, z.copy(), np.empty(0, dtype=dtype))
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "COOMatrix":
+        """Extract the nonzero pattern and values of a dense 2-D array."""
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise ValueError("from_dense expects a 2-D array")
+        row, col = np.nonzero(dense)
+        return cls(dense.shape, row, col, dense[row, col])
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries (including any duplicates)."""
+        return int(self.val.size)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.val.dtype
+
+    def memory_bytes(self) -> int:
+        """Exact bytes of the index and value arrays."""
+        return int(self.row.nbytes + self.col.nbytes + self.val.nbytes)
+
+    # ------------------------------------------------------------------
+    # Canonicalisation
+    # ------------------------------------------------------------------
+    def sum_duplicates(self) -> "COOMatrix":
+        """Return a copy with duplicate coordinates summed and sorted.
+
+        Entries are sorted row-major.  Entries whose duplicates cancel to
+        exactly zero are *kept* (as explicit zeros), matching the usual
+        Sparse BLAS convention that SpGEMM does not perform numerical
+        cancellation detection.
+        """
+        if self.nnz == 0:
+            return COOMatrix(self.shape, self.row, self.col, self.val)
+        order = np.lexsort((self.col, self.row))
+        row, col, val = self.row[order], self.col[order], self.val[order]
+        key_changes = np.empty(row.size, dtype=bool)
+        key_changes[0] = True
+        np.not_equal(row[1:], row[:-1], out=key_changes[1:])
+        np.logical_or(key_changes[1:], col[1:] != col[:-1], out=key_changes[1:])
+        starts = np.flatnonzero(key_changes)
+        summed = np.add.reduceat(val, starts)
+        return COOMatrix(self.shape, row[starts], col[starts], summed)
+
+    def prune(self, tol: float = 0.0) -> "COOMatrix":
+        """Drop entries with ``abs(value) <= tol``."""
+        keep = np.abs(self.val) > tol
+        return COOMatrix(self.shape, self.row[keep], self.col[keep], self.val[keep])
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def transpose(self) -> "COOMatrix":
+        """Return the transpose (swaps row/col arrays; O(nnz))."""
+        return COOMatrix((self.shape[1], self.shape[0]), self.col, self.row, self.val)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense float array (sums duplicates)."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(dense, (self.row, self.col), self.val)
+        return dense
+
+    def to_csr(self):
+        """Convert to :class:`repro.formats.csr.CSRMatrix`."""
+        from repro.formats.csr import CSRMatrix
+
+        return CSRMatrix.from_coo(self)
+
+    def to_scipy(self):
+        """Convert to a ``scipy.sparse.csr_matrix`` (for test oracles)."""
+        import scipy.sparse as sp
+
+        return sp.csr_matrix(
+            (self.val, (self.row, self.col)), shape=self.shape
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"COOMatrix(shape={self.shape}, nnz={self.nnz}, dtype={self.dtype})"
+        )

@@ -1,0 +1,262 @@
+"""Compressed sparse row (CSR) matrix container and kernels.
+
+CSR is the working format of every row-row baseline in this repository and
+the source format of the CSR→tiled conversion the paper times in its
+Figure 12.  The class stores the standard three arrays (``indptr``,
+``indices``, ``val``) and provides exactly the operations the SpGEMM
+algorithms need — nothing is delegated to SciPy, which is used only as a
+test oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+
+__all__ = ["CSRMatrix"]
+
+
+class CSRMatrix:
+    """A sparse matrix in compressed sparse row storage.
+
+    Parameters
+    ----------
+    shape:
+        ``(nrows, ncols)``.
+    indptr:
+        ``int64`` array of length ``nrows + 1``; row ``i`` owns the slice
+        ``indices[indptr[i]:indptr[i+1]]``.
+    indices:
+        ``int64`` column indices, sorted within each row.
+    val:
+        ``float64`` values aligned with ``indices``.
+    check:
+        When true (default) the invariants above are validated eagerly.
+    """
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        val: np.ndarray,
+        check: bool = True,
+    ) -> None:
+        self.shape: Tuple[int, int] = (int(shape[0]), int(shape[1]))
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.val = np.ascontiguousarray(val, dtype=np.float64)
+        if check:
+            self._validate()
+
+    def _validate(self) -> None:
+        nrows, ncols = self.shape
+        if self.indptr.shape != (nrows + 1,):
+            raise ValueError(
+                f"indptr must have length nrows+1 = {nrows + 1}, got {self.indptr.size}"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.size != self.val.size:
+            raise ValueError("indices and val must have identical lengths")
+        if self.indices.size:
+            if self.indices.min() < 0 or self.indices.max() >= ncols:
+                raise ValueError("column index out of bounds")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CSRMatrix":
+        """Build from COO triplets; duplicates are summed, rows sorted."""
+        canon = coo.sum_duplicates()
+        nrows = canon.shape[0]
+        counts = np.bincount(canon.row, minlength=nrows)
+        indptr = np.zeros(nrows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(canon.shape, indptr, canon.col, canon.val, check=False)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        """Extract the sparse structure of a dense 2-D array."""
+        return cls.from_coo(COOMatrix.from_dense(dense))
+
+    @classmethod
+    def from_scipy(cls, mat) -> "CSRMatrix":
+        """Import from any SciPy sparse matrix (test/interop helper)."""
+        m = mat.tocsr().sorted_indices()
+        m.sum_duplicates()
+        return cls(m.shape, m.indptr.astype(np.int64), m.indices.astype(np.int64), m.data.astype(np.float64))
+
+    @classmethod
+    def identity(cls, n: int) -> "CSRMatrix":
+        """The n-by-n identity matrix."""
+        idx = np.arange(n, dtype=np.int64)
+        return cls((n, n), np.arange(n + 1, dtype=np.int64), idx, np.ones(n), check=False)
+
+    @classmethod
+    def empty(cls, shape: Tuple[int, int]) -> "CSRMatrix":
+        """An all-zero matrix of the given shape."""
+        return cls(
+            shape,
+            np.zeros(shape[0] + 1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+            check=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.indices.size)
+
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    def row_lengths(self) -> np.ndarray:
+        """Number of stored entries per row (length ``nrows``)."""
+        return np.diff(self.indptr)
+
+    def memory_bytes(self, index_bytes: int = 4, value_bytes: int = 8) -> int:
+        """Space cost in bytes as the paper accounts it for Figure 11.
+
+        The paper's CSR baseline stores 32-bit indices and 64-bit values,
+        hence the defaults: ``(nrows+1 + nnz) * 4 + nnz * 8``.
+        """
+        return int((self.indptr.size + self.nnz) * index_bytes + self.nnz * value_bytes)
+
+    # ------------------------------------------------------------------
+    # Row access
+    # ------------------------------------------------------------------
+    def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(columns, values)`` views of row ``i``."""
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.val[lo:hi]
+
+    def iter_rows(self) -> Iterator[Tuple[int, np.ndarray, np.ndarray]]:
+        """Yield ``(i, columns, values)`` for every row."""
+        for i in range(self.nrows):
+            cols, vals = self.row(i)
+            yield i, cols, vals
+
+    def row_indices_expanded(self) -> np.ndarray:
+        """Per-nonzero row index array (the COO ``row`` of this matrix)."""
+        return np.repeat(np.arange(self.nrows, dtype=np.int64), self.row_lengths())
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def transpose(self) -> "CSRMatrix":
+        """Return ``A^T`` in CSR form (a counting-sort transpose, O(nnz))."""
+        nrows, ncols = self.shape
+        counts = np.bincount(self.indices, minlength=ncols)
+        indptr_t = np.zeros(ncols + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr_t[1:])
+        # Stable sort by column gives the transpose's row-major order with
+        # original rows (the transpose's columns) sorted within each row.
+        order = np.argsort(self.indices, kind="stable")
+        indices_t = self.row_indices_expanded()[order]
+        val_t = self.val[order]
+        return CSRMatrix((ncols, nrows), indptr_t, indices_t, val_t, check=False)
+
+    def to_coo(self) -> COOMatrix:
+        """Convert to COO triplets."""
+        return COOMatrix(self.shape, self.row_indices_expanded(), self.indices, self.val)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense float array."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        dense[self.row_indices_expanded(), self.indices] = self.val
+        return dense
+
+    def to_scipy(self):
+        """Convert to ``scipy.sparse.csr_matrix`` (for test oracles)."""
+        import scipy.sparse as sp
+
+        return sp.csr_matrix((self.val, self.indices, self.indptr), shape=self.shape)
+
+    def submatrix(self, row_range, col_range) -> "CSRMatrix":
+        """Extract the dense index range ``[r0, r1) x [c0, c1)`` as a CSR block.
+
+        Used by the distributed-SpGEMM extension to slice the owner blocks
+        of a 2-D process grid; indices in the result are block-local.
+        """
+        r0, r1 = int(row_range[0]), int(row_range[1])
+        c0, c1 = int(col_range[0]), int(col_range[1])
+        if not (0 <= r0 <= r1 <= self.nrows and 0 <= c0 <= c1 <= self.ncols):
+            raise ValueError("sub-matrix range out of bounds")
+        lo, hi = self.indptr[r0], self.indptr[r1]
+        cols = self.indices[lo:hi]
+        keep = (cols >= c0) & (cols < c1)
+        kept_csum = np.zeros(hi - lo + 1, dtype=np.int64)
+        np.cumsum(keep, out=kept_csum[1:])
+        indptr = kept_csum[self.indptr[r0 : r1 + 1] - lo]
+        return CSRMatrix(
+            (r1 - r0, c1 - c0),
+            indptr,
+            cols[keep] - c0,
+            self.val[lo:hi][keep],
+            check=False,
+        )
+
+    def prune(self, tol: float = 0.0) -> "CSRMatrix":
+        """Drop entries with ``abs(value) <= tol``, keeping structure valid."""
+        keep = np.abs(self.val) > tol
+        kept_csum = np.zeros(self.nnz + 1, dtype=np.int64)
+        np.cumsum(keep, out=kept_csum[1:])
+        indptr = kept_csum[self.indptr]
+        return CSRMatrix(self.shape, indptr, self.indices[keep], self.val[keep], check=False)
+
+    def scale_rows(self, scale: np.ndarray) -> "CSRMatrix":
+        """Return ``diag(scale) @ A`` without changing the pattern."""
+        scale = np.asarray(scale, dtype=np.float64)
+        if scale.shape != (self.nrows,):
+            raise ValueError("scale must have one entry per row")
+        val = self.val * np.repeat(scale, self.row_lengths())
+        return CSRMatrix(self.shape, self.indptr, self.indices, val, check=False)
+
+    # ------------------------------------------------------------------
+    # Comparisons
+    # ------------------------------------------------------------------
+    def allclose(self, other: "CSRMatrix", rtol: float = 1e-10, atol: float = 1e-12) -> bool:
+        """Numerically compare two matrices, ignoring explicit zeros.
+
+        Patterns may differ by explicitly stored zeros (SpGEMM methods
+        legitimately disagree about keeping cancelled entries), so the
+        comparison is done on pruned canonical forms.
+        """
+        if self.shape != other.shape:
+            return False
+        a = self.prune(atol)
+        b = other.prune(atol)
+        if a.nnz != b.nnz:
+            return False
+        if not np.array_equal(a.indptr, b.indptr):
+            return False
+        if not np.array_equal(a.indices, b.indices):
+            return False
+        return bool(np.allclose(a.val, b.val, rtol=rtol, atol=atol))
+
+    def pattern_equal(self, other: "CSRMatrix") -> bool:
+        """True when both matrices store exactly the same positions."""
+        return (
+            self.shape == other.shape
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"

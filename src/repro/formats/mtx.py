@@ -1,0 +1,133 @@
+"""MatrixMarket (``*.mtx``) reader and writer.
+
+The paper's artifact consumes matrices exclusively in MatrixMarket
+coordinate format downloaded from the SuiteSparse collection, so this
+module implements the subset of the format that collection uses:
+
+* ``matrix coordinate real|integer|pattern general|symmetric|skew-symmetric``
+* comment lines starting with ``%``
+* 1-based indices
+
+``pattern`` entries get value 1.0, ``symmetric`` and ``skew-symmetric``
+storage is expanded to the full matrix (off-diagonal mirror entries added,
+negated for skew), matching what every SpGEMM library does on load.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+
+__all__ = ["read_mtx", "write_mtx"]
+
+_SUPPORTED_FIELDS = {"real", "integer", "pattern", "double"}
+_SUPPORTED_SYMMETRIES = {"general", "symmetric", "skew-symmetric"}
+
+
+def read_mtx(path_or_file: Union[str, os.PathLike, io.IOBase]) -> COOMatrix:
+    """Read a MatrixMarket coordinate file into a :class:`COOMatrix`.
+
+    Parameters
+    ----------
+    path_or_file:
+        File path or an open text-mode file object.
+
+    Raises
+    ------
+    ValueError
+        On malformed headers, unsupported qualifiers (``complex``,
+        ``hermitian``, ``array``) or out-of-range indices.
+    """
+    if isinstance(path_or_file, (str, os.PathLike)):
+        with open(path_or_file, "r", encoding="utf-8") as fh:
+            return _read_stream(fh)
+    return _read_stream(path_or_file)
+
+
+def _read_stream(fh) -> COOMatrix:
+    header = fh.readline()
+    if not header.startswith("%%MatrixMarket"):
+        raise ValueError("missing %%MatrixMarket header")
+    parts = header.strip().split()
+    if len(parts) < 5:
+        raise ValueError(f"malformed header: {header.strip()!r}")
+    _, obj, fmt, field, symmetry = parts[:5]
+    obj, fmt, field, symmetry = (s.lower() for s in (obj, fmt, field, symmetry))
+    if obj != "matrix" or fmt != "coordinate":
+        raise ValueError(f"unsupported MatrixMarket object/format: {obj} {fmt}")
+    if field not in _SUPPORTED_FIELDS:
+        raise ValueError(f"unsupported field type: {field}")
+    if symmetry not in _SUPPORTED_SYMMETRIES:
+        raise ValueError(f"unsupported symmetry: {symmetry}")
+
+    # Skip comments and blank lines to the size line.
+    line = fh.readline()
+    while line and (line.startswith("%") or not line.strip()):
+        line = fh.readline()
+    if not line:
+        raise ValueError("missing size line")
+    size_parts = line.split()
+    if len(size_parts) != 3:
+        raise ValueError(f"malformed size line: {line.strip()!r}")
+    nrows, ncols, nnz = (int(p) for p in size_parts)
+
+    is_pattern = field == "pattern"
+    body = fh.read()
+    if nnz == 0:
+        return COOMatrix((nrows, ncols), np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0))
+    table = np.loadtxt(io.StringIO(body), ndmin=2, comments="%")
+    if table.shape[0] != nnz:
+        raise ValueError(f"expected {nnz} entries, file contains {table.shape[0]}")
+    expected_cols = 2 if is_pattern else 3
+    if table.shape[1] < expected_cols:
+        raise ValueError("entry lines have too few columns")
+    row = table[:, 0].astype(np.int64) - 1
+    col = table[:, 1].astype(np.int64) - 1
+    val = np.ones(nnz, dtype=np.float64) if is_pattern else table[:, 2].astype(np.float64)
+
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off_diag = row != col
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        row, col = (
+            np.concatenate([row, col[off_diag]]),
+            np.concatenate([col, row[off_diag]]),
+        )
+        val = np.concatenate([val, sign * val[off_diag]])
+
+    return COOMatrix((nrows, ncols), row, col, val)
+
+
+def write_mtx(path_or_file: Union[str, os.PathLike, io.IOBase], matrix, comment: str = "") -> None:
+    """Write a matrix (COO or CSR) as ``matrix coordinate real general``.
+
+    Parameters
+    ----------
+    path_or_file:
+        Destination path or open text-mode file object.
+    matrix:
+        A :class:`COOMatrix` or anything with ``to_coo()``.
+    comment:
+        Optional comment text emitted as ``%`` lines after the header.
+    """
+    coo = matrix if isinstance(matrix, COOMatrix) else matrix.to_coo()
+    if isinstance(path_or_file, (str, os.PathLike)):
+        with open(path_or_file, "w", encoding="utf-8") as fh:
+            _write_stream(fh, coo, comment)
+    else:
+        _write_stream(path_or_file, coo, comment)
+
+
+def _write_stream(fh, coo: COOMatrix, comment: str) -> None:
+    fh.write("%%MatrixMarket matrix coordinate real general\n")
+    for line in comment.splitlines():
+        fh.write(f"% {line}\n")
+    fh.write(f"{coo.shape[0]} {coo.shape[1]} {coo.nnz}\n")
+    chunks = []
+    for r, c, v in zip(coo.row + 1, coo.col + 1, coo.val):
+        chunks.append(f"{r} {c} {v:.17g}\n")
+    fh.write("".join(chunks))

@@ -1,0 +1,27 @@
+"""GPU execution model: devices, scheduling, and per-method cost models.
+
+This package is the documented substitution for the paper's physical
+RTX 3060/3090 testbed (see DESIGN.md): algorithms report measured work
+statistics, and :func:`~repro.gpu.costmodel.estimate_run` converts them to
+estimated kernel times on a :class:`~repro.gpu.device.DeviceModel`.
+"""
+
+from repro.gpu.costmodel import COST, GPUEstimate, KernelEstimate, estimate_run
+from repro.gpu.device import DEVICES, RTX3060, RTX3090, DeviceModel
+from repro.gpu.memtracker import MemoryCurve, memory_curve
+from repro.gpu.scheduler import greedy_makespan, imbalance_factor
+
+__all__ = [
+    "COST",
+    "DEVICES",
+    "RTX3060",
+    "RTX3090",
+    "DeviceModel",
+    "GPUEstimate",
+    "KernelEstimate",
+    "MemoryCurve",
+    "estimate_run",
+    "greedy_makespan",
+    "imbalance_factor",
+    "memory_curve",
+]

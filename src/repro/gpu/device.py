@@ -1,0 +1,157 @@
+"""Parameterised GPU device models (the paper's Table 1 testbed).
+
+With no physical GPU available, the repository reproduces the paper's
+performance comparisons on an *execution model*: each algorithm reports
+how much work of which kind it did (per-warp task durations, bytes moved,
+allocations), and the model turns that into estimated kernel time on a
+described device.  This module holds the device descriptions; the two
+presets are the paper's RTX 3060 and RTX 3090 with their public
+specifications.
+
+The model is deliberately simple — a latency/occupancy-aware roofline, not
+a cycle-accurate simulator — because the paper's figures are about *ratios*
+(method A over method B, 3090 over 3060), which survive a first-order
+model.  EXPERIMENTS.md records where the shapes hold and where they do
+not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceModel", "RTX3060", "RTX3090", "DEVICES"]
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """A GPU for the execution model.
+
+    Attributes
+    ----------
+    name:
+        Display name.
+    num_sms:
+        Streaming multiprocessors.
+    cuda_cores:
+        Total FP32 cores (Table 1 lists 3584 / 10496).
+    clock_ghz:
+        Boost clock.
+    dram_bw_gbs:
+        Peak DRAM bandwidth in GB/s (Table 1: 360.0 / 936.2).
+    dram_gb:
+        DRAM capacity in GB (out-of-memory detection).
+    shared_mem_kb_per_sm:
+        Scratchpad capacity per SM.
+    resident_warps_per_sm:
+        Warp slots the scheduler keeps busy per SM.
+    warp_width:
+        Threads per warp.
+    tensor_tflops_fp16:
+        Tensor-core half-precision throughput (tSparse path).
+    kernel_launch_us:
+        Fixed host-side cost per kernel launch.
+    malloc_us_per_mb, malloc_fixed_us:
+        Device-allocation cost model (Gelado & Garland observe allocation
+        is a large, size-dependent cost — the paper's Figure 10 shows ~20 %
+        of runtime in allocation).
+    dram_latency_cycles:
+        Round-trip latency of an uncoalesced global-memory access.
+    """
+
+    name: str
+    num_sms: int
+    cuda_cores: int
+    clock_ghz: float
+    dram_bw_gbs: float
+    dram_gb: float
+    shared_mem_kb_per_sm: int
+    resident_warps_per_sm: int = 32
+    warp_width: int = 32
+    tensor_tflops_fp16: float = 50.0
+    kernel_launch_us: float = 5.0
+    malloc_us_per_mb: float = 1.5
+    malloc_fixed_us: float = 3.0
+    dram_latency_cycles: int = 400
+    issue_width: int = 4  #: warp instructions an SM can issue per cycle
+
+    @property
+    def warp_slots(self) -> int:
+        """Concurrently resident warps across the device."""
+        return self.num_sms * self.resident_warps_per_sm
+
+    @property
+    def issue_slots(self) -> int:
+        """Warp-instruction issue slots per cycle across the device.
+
+        This is the scheduling width of the cost model: the device retires
+        at most ``issue_slots`` warp-instructions per clock, so warp-task
+        cycle counts are list-scheduled onto this many slots (resident
+        warps beyond it only hide latency, which the per-operation cycle
+        costs already include).
+        """
+        return self.num_sms * self.issue_width
+
+    @property
+    def peak_gflops_fp64(self) -> float:
+        """FP64 peak (GeForce Ampere: 1/64 of the FP32 FMA rate)."""
+        return self.cuda_cores * self.clock_ghz * 2.0 / 64.0
+
+    @property
+    def flop_rate(self) -> float:
+        """Usable FP64-class flops/second for the roofline term."""
+        return self.peak_gflops_fp64 * 1e9
+
+    @property
+    def clock_hz(self) -> float:
+        """Boost clock in Hz."""
+        return self.clock_ghz * 1e9
+
+    def scaled_memory(self, factor: float) -> "DeviceModel":
+        """A copy with DRAM capacity scaled by ``factor``.
+
+        The synthetic workloads are scaled-down analogues of the paper's
+        matrices; scaling the capacity by the same factor preserves the
+        out-of-memory behaviour of the full-size experiments (see
+        DESIGN.md's substitution table).
+        """
+        from dataclasses import replace
+
+        return replace(self, dram_gb=self.dram_gb * factor)
+
+    def seconds_for_bytes(self, nbytes: float) -> float:
+        """Time to stream ``nbytes`` at peak DRAM bandwidth."""
+        return float(nbytes) / (self.dram_bw_gbs * 1e9)
+
+    def malloc_seconds(self, nbytes: float, num_allocs: int = 1) -> float:
+        """Allocation-cost model for ``num_allocs`` allocations totalling
+        ``nbytes``."""
+        return (
+            num_allocs * self.malloc_fixed_us * 1e-6
+            + (float(nbytes) / 1e6) * self.malloc_us_per_mb * 1e-6
+        )
+
+
+#: The paper's two Ampere GPUs (Table 1).
+RTX3060 = DeviceModel(
+    name="RTX 3060",
+    num_sms=28,
+    cuda_cores=3584,
+    clock_ghz=1.78,
+    dram_bw_gbs=360.0,
+    dram_gb=12.0,
+    shared_mem_kb_per_sm=100,
+    tensor_tflops_fp16=51.0,
+)
+
+RTX3090 = DeviceModel(
+    name="RTX 3090",
+    num_sms=82,
+    cuda_cores=10496,
+    clock_ghz=1.70,
+    dram_bw_gbs=936.2,
+    dram_gb=24.0,
+    shared_mem_kb_per_sm=100,
+    tensor_tflops_fp16=142.0,
+)
+
+DEVICES = {"rtx3060": RTX3060, "rtx3090": RTX3090}

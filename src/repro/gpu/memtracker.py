@@ -1,0 +1,62 @@
+"""Memory-over-time curves for the Figure 9 reproduction.
+
+The paper's Figure 9 plots each method's *live device memory* against its
+completion time.  Every algorithm here already keeps an event-ordered
+allocation ledger (:class:`~repro.util.alloc.AllocationTracker`); this
+module lays those events out on the estimated GPU timeline so a method's
+curve has the right duration (from the cost model) and the right heights
+(from the ledger).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.baselines.base import SpGEMMResult
+from repro.gpu.costmodel import GPUEstimate, estimate_run
+from repro.gpu.device import DeviceModel
+
+__all__ = ["MemoryCurve", "memory_curve"]
+
+
+@dataclass
+class MemoryCurve:
+    """A method's memory-versus-time footprint on a modelled device."""
+
+    method: str
+    points: List[Tuple[float, int]]  #: (seconds, live bytes) steps
+    peak_bytes: int
+    total_seconds: float
+    oom: bool
+
+    @property
+    def peak_mb(self) -> float:
+        """Peak footprint in megabytes (the paper's Figure 9 y-axis)."""
+        return self.peak_bytes / 1e6
+
+    @property
+    def total_ms(self) -> float:
+        """Completion time in milliseconds (the Figure 9 x-axis)."""
+        return self.total_seconds * 1e3
+
+
+def memory_curve(result: SpGEMMResult, device: DeviceModel) -> MemoryCurve:
+    """Combine a run's allocation ledger with its estimated timeline.
+
+    Allocation events are distributed across the estimated runtime in
+    ledger order, phase by phase: events tagged with a phase receive that
+    phase's share of the estimated time (matching how the paper's probe
+    samples the allocator between kernels).
+    """
+    est: GPUEstimate = estimate_run(result, device)
+    seconds = est.seconds if not est.oom else float("nan")
+    total = seconds if seconds == seconds else result.timer.total  # NaN-safe
+    points = result.alloc.timeline(total_seconds=total)
+    return MemoryCurve(
+        method=result.method,
+        points=points,
+        peak_bytes=result.alloc.peak_bytes,
+        total_seconds=total,
+        oom=est.oom,
+    )

@@ -1,0 +1,27 @@
+"""Synthetic workload generators and the paper's named matrix suites."""
+
+from repro.matrices import generators
+from repro.matrices.suite import (
+    MatrixSpec,
+    MatrixStats,
+    PaperStats,
+    asymmetric_6,
+    full_dataset,
+    get_matrix,
+    matrix_stats,
+    representative_18,
+    tsparse_16,
+)
+
+__all__ = [
+    "generators",
+    "MatrixSpec",
+    "MatrixStats",
+    "PaperStats",
+    "asymmetric_6",
+    "full_dataset",
+    "get_matrix",
+    "matrix_stats",
+    "representative_18",
+    "tsparse_16",
+]

@@ -1,0 +1,334 @@
+"""Synthetic sparse-matrix generators: scaled analogues of SuiteSparse.
+
+The paper evaluates on 142 SuiteSparse matrices spanning a few structural
+families; with the collection unavailable offline, these generators
+produce laptop-scale matrices of the same families (DESIGN.md documents
+the substitution).  What each figure actually keys on is preserved:
+
+* **FEM / banded** (pdb1HYS, cant, pwtk, af_shell10 …) — wide dense-ish
+  bands, uniform row lengths, high compression rate;
+* **stencil meshes** (mc2depi) — 5/7-point Laplacian patterns, compression
+  rate near 1.5;
+* **power-law graphs** (webbase-1M, scircuit, wiki-Vote …) — Zipf degree
+  tails with a handful of enormous rows: the paper's load-imbalance
+  motivation;
+* **block-dense** (gupta3, TSOPF, SiO2 …) — dense blocks embedded in a
+  sparse frame: very high compression rates and the memory blow-ups that
+  kill the expansion-based baselines;
+* **hypersparse** (cop20k_A-like) — nonzeros scattered so nearly every
+  16x16 tile holds only a few entries: TileSpGEMM's documented worst case;
+* **R-MAT** — Kronecker-style graphs for the full-dataset sweep.
+
+Every generator takes an explicit seed, returns a
+:class:`~repro.formats.coo.COOMatrix`, and is deterministic given its
+arguments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+
+__all__ = [
+    "banded",
+    "stencil_2d",
+    "stencil_3d",
+    "random_uniform",
+    "powerlaw",
+    "rmat",
+    "block_dense",
+    "block_band",
+    "hypersparse",
+    "grouped_scatter",
+    "clustered_columns",
+    "permute_symmetric",
+]
+
+
+def _values(rng: np.random.Generator, size: int) -> np.ndarray:
+    """Nonzero values: uniform in [0.5, 1.5] to avoid accidental zeros."""
+    return rng.uniform(0.5, 1.5, size=size)
+
+
+def banded(n: int, half_bandwidth: int, fill: float = 1.0, seed: int = 0) -> COOMatrix:
+    """A square band matrix with the given half bandwidth.
+
+    ``fill`` is the fraction of in-band positions kept (1.0 = dense band).
+    FEM stiffness matrices are well modelled by ``fill`` around 0.5-1.0.
+    """
+    if half_bandwidth < 0:
+        raise ValueError("half_bandwidth must be non-negative")
+    rng = np.random.default_rng(seed)
+    offsets = np.arange(-half_bandwidth, half_bandwidth + 1)
+    rows_parts = []
+    cols_parts = []
+    for off in offsets:
+        r = np.arange(max(0, -off), min(n, n - off), dtype=np.int64)
+        if fill < 1.0:
+            keep = rng.random(r.size) < fill
+            r = r[keep]
+        rows_parts.append(r)
+        cols_parts.append(r + off)
+    rows = np.concatenate(rows_parts)
+    cols = np.concatenate(cols_parts)
+    return COOMatrix((n, n), rows, cols, _values(rng, rows.size))
+
+
+def stencil_2d(nx: int, ny: int) -> COOMatrix:
+    """The 5-point Laplacian stencil on an ``nx`` x ``ny`` grid.
+
+    This is the mc2depi-class pattern (epidemiology random walk on a
+    lattice): ~5 nonzeros per row, compression rate about 1.8.
+    """
+    n = nx * ny
+    idx = np.arange(n, dtype=np.int64)
+    ix = idx % nx
+    iy = idx // nx
+    rows = [idx]
+    cols = [idx]
+    vals = [np.full(n, 4.0)]
+    for dx, dy in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+        jx, jy = ix + dx, iy + dy
+        ok = (jx >= 0) & (jx < nx) & (jy >= 0) & (jy < ny)
+        rows.append(idx[ok])
+        cols.append(jy[ok] * nx + jx[ok])
+        vals.append(np.full(int(ok.sum()), -1.0))
+    return COOMatrix(
+        (n, n), np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    )
+
+
+def stencil_3d(nx: int, ny: int, nz: int) -> COOMatrix:
+    """The 7-point Laplacian stencil on an ``nx`` x ``ny`` x ``nz`` grid."""
+    n = nx * ny * nz
+    idx = np.arange(n, dtype=np.int64)
+    ix = idx % nx
+    iy = (idx // nx) % ny
+    iz = idx // (nx * ny)
+    rows = [idx]
+    cols = [idx]
+    vals = [np.full(n, 6.0)]
+    for dx, dy, dz in (
+        (-1, 0, 0),
+        (1, 0, 0),
+        (0, -1, 0),
+        (0, 1, 0),
+        (0, 0, -1),
+        (0, 0, 1),
+    ):
+        jx, jy, jz = ix + dx, iy + dy, iz + dz
+        ok = (jx >= 0) & (jx < nx) & (jy >= 0) & (jy < ny) & (jz >= 0) & (jz < nz)
+        rows.append(idx[ok])
+        cols.append((jz[ok] * ny + jy[ok]) * nx + jx[ok])
+        vals.append(np.full(int(ok.sum()), -1.0))
+    return COOMatrix(
+        (n, n), np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    )
+
+
+def random_uniform(n: int, nnz_per_row: float, seed: int = 0) -> COOMatrix:
+    """Uniformly random square matrix with the given mean row length."""
+    rng = np.random.default_rng(seed)
+    total = int(round(n * nnz_per_row))
+    rows = rng.integers(0, n, size=total, dtype=np.int64)
+    cols = rng.integers(0, n, size=total, dtype=np.int64)
+    return COOMatrix((n, n), rows, cols, _values(rng, total)).sum_duplicates()
+
+
+def powerlaw(
+    n: int,
+    avg_degree: float,
+    exponent: float = 2.1,
+    max_degree: int | None = None,
+    hubs: int = 0,
+    hub_in_fraction: float = 0.0,
+    seed: int = 0,
+) -> COOMatrix:
+    """A power-law (Zipf-tail) graph adjacency matrix.
+
+    Row degrees follow a truncated Zipf distribution with the given
+    exponent, rescaled to the requested average — a few rows get thousands
+    of nonzeros while the bulk get a handful, reproducing the webbase-1M
+    row-length histogram of the paper's §2.3 at small scale.  Column
+    targets are also Zipf-distributed (popular pages), giving the
+    power-law-squared fill-in explosion.
+    """
+    rng = np.random.default_rng(seed)
+    if max_degree is None:
+        max_degree = max(int(n * 0.4), 4)
+    # Zipf-distributed out-degrees rescaled to the requested average.
+    raw = rng.zipf(exponent, size=n).astype(np.float64)
+    raw = np.minimum(raw, max_degree)
+    degrees = np.clip(np.round(raw * (avg_degree / raw.mean())), 1, max_degree).astype(
+        np.int64
+    )
+    hub_ids = np.empty(0, dtype=np.int64)
+    if hubs:
+        # Plant explicit full-width hub rows: webbase-1M's handful of rows
+        # that dominate the row-row methods' runtime (paper §2.3).
+        hub_ids = rng.choice(n, size=min(hubs, n), replace=False).astype(np.int64)
+        degrees[hub_ids] = max_degree
+    total = int(degrees.sum())
+    rows = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    # Column targets: a popular-page Zipf head mixed with a uniform body,
+    # so hub rows do not collapse to a handful of duplicate targets.
+    popular = rng.random(total) < 0.3
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    col_weights = ranks ** (-exponent)
+    col_weights /= col_weights.sum()
+    perm = rng.permutation(n)
+    cols = np.where(
+        popular,
+        perm[rng.choice(n, size=total, p=col_weights)],
+        rng.integers(0, n, size=total),
+    )
+    if hub_ids.size and hub_in_fraction > 0:
+        # Hubs attract in-links (popular pages): redirecting a fraction of
+        # all edges onto the hub columns makes every row that cites a hub a
+        # heavy row of ``A^2`` — the quadratic amplification that produces
+        # webbase-1M's >100k-operation rows.
+        redirect = rng.random(total) < hub_in_fraction
+        cols[redirect] = hub_ids[rng.integers(0, hub_ids.size, size=int(redirect.sum()))]
+    return COOMatrix((n, n), rows, cols, _values(rng, total)).sum_duplicates()
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 8,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+) -> COOMatrix:
+    """An R-MAT (recursive Kronecker) graph with ``2**scale`` vertices."""
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    m = n * edge_factor
+    rows = np.zeros(m, dtype=np.int64)
+    cols = np.zeros(m, dtype=np.int64)
+    ab = a + b
+    abc = a + b + c
+    for level in range(scale):
+        r = rng.random(m)
+        bit_r = (r >= ab).astype(np.int64)
+        r2 = rng.random(m)
+        thresh = np.where(bit_r == 0, a / ab, c / max(1.0 - ab, 1e-12))
+        bit_c = (r2 >= thresh).astype(np.int64)
+        rows |= bit_r << level
+        cols |= bit_c << level
+    return COOMatrix((n, n), rows, cols, _values(rng, m)).sum_duplicates()
+
+
+def block_dense(
+    n: int, block: int, blocks_per_row: int = 1, seed: int = 0
+) -> COOMatrix:
+    """Dense ``block`` x ``block`` blocks scattered on a block grid.
+
+    The gupta3/TSOPF class: a sparse frame of fully dense blocks, giving
+    very high compression rates (``C = A^2`` reuses each block ``block``
+    times) and enormous intermediate-product counts for row-row methods.
+    """
+    rng = np.random.default_rng(seed)
+    nb = n // block
+    if nb == 0:
+        raise ValueError("n must be at least one block")
+    rows_parts = []
+    cols_parts = []
+    local = np.arange(block, dtype=np.int64)
+    lr = np.repeat(local, block)
+    lc = np.tile(local, block)
+    for bi in range(nb):
+        targets = set()
+        targets.add(bi)  # diagonal block keeps A^2 well defined
+        choices = rng.choice(nb, size=min(blocks_per_row, nb), replace=False)
+        targets.update(int(x) for x in choices)
+        for bj in targets:
+            rows_parts.append(bi * block + lr)
+            cols_parts.append(bj * block + lc)
+    rows = np.concatenate(rows_parts)
+    cols = np.concatenate(cols_parts)
+    return COOMatrix((n, n), rows, cols, _values(rng, rows.size)).sum_duplicates()
+
+
+def block_band(n: int, block: int, block_bandwidth: int = 1, seed: int = 0) -> COOMatrix:
+    """A band of dense blocks (SiO2/pkustk class: clustered dense band)."""
+    rng = np.random.default_rng(seed)
+    nb = n // block
+    local = np.arange(block, dtype=np.int64)
+    lr = np.repeat(local, block)
+    lc = np.tile(local, block)
+    rows_parts = []
+    cols_parts = []
+    for bi in range(nb):
+        for bj in range(max(0, bi - block_bandwidth), min(nb, bi + block_bandwidth + 1)):
+            rows_parts.append(bi * block + lr)
+            cols_parts.append(bj * block + lc)
+    rows = np.concatenate(rows_parts)
+    cols = np.concatenate(cols_parts)
+    return COOMatrix((n, n), rows, cols, _values(rng, rows.size))
+
+
+def hypersparse(n: int, nnz_per_row: float = 2.0, seed: int = 0) -> COOMatrix:
+    """Scattered nonzeros far apart: nearly every 16x16 tile holds one.
+
+    The cop20k_A/scircuit class, TileSpGEMM's documented worst case: the
+    per-tile overhead dominates because tiles carry almost no work.
+    """
+    rng = np.random.default_rng(seed)
+    total = int(n * nnz_per_row)
+    rows = rng.integers(0, n, size=total, dtype=np.int64)
+    # Spread columns with a large stride so tiles rarely share nonzeros.
+    cols = (rows * 7919 + rng.integers(0, n, size=total, dtype=np.int64) * 127) % n
+    return COOMatrix((n, n), rows, cols, _values(rng, total)).sum_duplicates()
+
+
+def permute_symmetric(coo: COOMatrix, seed: int = 0) -> COOMatrix:
+    """Apply a random symmetric permutation ``P A P^T``.
+
+    A symmetric permutation preserves every SpGEMM statistic of
+    ``C = A^2`` (flops, nnz(C), compression rate: ``(PAP^T)^2 =
+    P A^2 P^T``) while destroying all spatial locality — nonzeros that sat
+    in a dense band scatter across the whole tile grid.  This is exactly
+    the cop20k_A profile the paper discusses: a moderate compression rate
+    carried by a hypersparse tile population, TileSpGEMM's worst case.
+    """
+    if coo.shape[0] != coo.shape[1]:
+        raise ValueError("symmetric permutation needs a square matrix")
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(coo.shape[0]).astype(np.int64)
+    return COOMatrix(coo.shape, perm[coo.row], perm[coo.col], coo.val)
+
+
+def grouped_scatter(n: int, nnz_per_row: int, group: int = 4, seed: int = 0) -> COOMatrix:
+    """Scattered rows whose column sets repeat in groups of ``group`` rows.
+
+    Every group of ``group`` consecutive rows shares one scattered column
+    set, so ``A^2`` merges each group's products ``group``-fold: the
+    compression rate lands near ``group`` while the nonzeros stay spread
+    out (about one per 16x16 tile) — the cop20k_A profile of a moderate
+    compression rate on a hypersparse tile population.
+    """
+    rng = np.random.default_rng(seed)
+    num_groups = -(-n // group)
+    group_cols = rng.integers(0, n, size=(num_groups, nnz_per_row), dtype=np.int64)
+    rows = np.repeat(np.arange(n, dtype=np.int64), nnz_per_row)
+    cols = group_cols[np.arange(n) // group].reshape(-1)
+    return COOMatrix((n, n), rows, cols, _values(rng, rows.size)).sum_duplicates()
+
+
+def clustered_columns(
+    n: int, nnz_per_row: int, cluster_width: int, seed: int = 0
+) -> COOMatrix:
+    """Rows draw their nonzeros from a shared narrow column cluster.
+
+    Chemistry-style matrices (SiO2, conf5 QCD): groups of rows hit the
+    same column window, so ``A^2`` merges many products into few outputs —
+    high compression rate with moderate row lengths.
+    """
+    rng = np.random.default_rng(seed)
+    rows = np.repeat(np.arange(n, dtype=np.int64), nnz_per_row)
+    centers = (np.arange(n, dtype=np.int64) // cluster_width) * cluster_width
+    offsets = rng.integers(0, cluster_width, size=rows.size, dtype=np.int64)
+    cols = (centers[rows] + offsets) % n
+    return COOMatrix((n, n), rows, cols, _values(rng, rows.size)).sum_duplicates()

@@ -1,0 +1,383 @@
+"""The named matrix suites of the paper, as scaled synthetic analogues.
+
+Three suites drive the benches:
+
+* :func:`representative_18` — Table 2's 18 representative matrices.  Each
+  analogue targets its original's *structure class* and *compression rate*
+  (the quantity Figure 6 plots against); the paper's original statistics
+  are carried along so the Table 2 bench can print paper-vs-measured.
+* :func:`tsparse_16` — the 16-matrix dataset of the tSparse comparison
+  (Figures 13/14).
+* :func:`full_dataset` — the stand-in for "all 142 square matrices with
+  >= 1 Gflop": a parameter sweep across the six structure families
+  covering compression rates from ~1 to ~140.
+
+All suites are deterministic; matrices build lazily and are cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.matrices import generators as gen
+
+__all__ = [
+    "MatrixSpec",
+    "PaperStats",
+    "MatrixStats",
+    "matrix_stats",
+    "representative_18",
+    "asymmetric_6",
+    "tsparse_16",
+    "full_dataset",
+    "get_matrix",
+    "WEBBASE_ANALOG",
+]
+
+
+@dataclass(frozen=True)
+class PaperStats:
+    """The original matrix's statistics as printed in the paper's Table 2."""
+
+    n: int
+    nnz: int
+    flops: float  #: flops of C = A^2
+    nnz_c: int
+    compression_rate: float
+
+
+@dataclass(frozen=True)
+class MatrixStats:
+    """Measured statistics of a (synthetic) matrix for ``C = A^2``."""
+
+    n: int
+    nnz: int
+    flops: int
+    nnz_c: int
+    compression_rate: float
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """A named workload: generator + category + paper reference data."""
+
+    name: str
+    category: str  #: fem | stencil | powerlaw | block | hypersparse | random | clustered
+    build: Callable[[], COOMatrix] = field(repr=False)
+    paper: Optional[PaperStats] = None
+    asymmetric: bool = False
+
+    def matrix(self) -> CSRMatrix:
+        """Build (cached) and return the matrix in CSR form."""
+        return _build_cached(self.name, self.build)
+
+
+@lru_cache(maxsize=None)
+def _cached_call(name: str) -> CSRMatrix:  # pragma: no cover - see _build_cached
+    raise RuntimeError("populated via _build_cached")
+
+
+_CACHE: Dict[str, CSRMatrix] = {}
+
+
+def _build_cached(name: str, build: Callable[[], COOMatrix]) -> CSRMatrix:
+    if name not in _CACHE:
+        _CACHE[name] = build().to_csr()
+    return _CACHE[name]
+
+
+def matrix_stats(a: CSRMatrix) -> MatrixStats:
+    """Measure n, nnz, flops, nnz(A^2) and the compression rate.
+
+    The compression rate follows the paper's definition: the number of
+    intermediate products (``flops / 2``) divided by ``nnz(C)``.
+    """
+    from repro.baselines._expand import expand_pattern
+    from repro.baselines.base import flops_of_product
+
+    flops = flops_of_product(a, a)
+    rows, cols = expand_pattern(a, a)
+    nnz_c = int(np.unique(rows * a.shape[1] + cols).size) if rows.size else 0
+    cr = (flops / 2.0) / nnz_c if nnz_c else 0.0
+    return MatrixStats(
+        n=a.shape[0], nnz=a.nnz, flops=flops, nnz_c=nnz_c, compression_rate=cr
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 2: the 18 representative matrices
+# ----------------------------------------------------------------------
+
+#: Name of the webbase-1M analogue (used by the motivation bench).
+WEBBASE_ANALOG = "webbase-1M"
+
+
+def representative_18() -> List[MatrixSpec]:
+    """Scaled analogues of the paper's Table 2, in the paper's order."""
+    P = PaperStats
+    return [
+        MatrixSpec(
+            "pdb1HYS", "fem",
+            lambda: gen.banded(3600, 30, fill=1.0, seed=101),
+            P(36_000, 4_300_000, 1.1e9, 19_600_000, 28.34),
+        ),
+        MatrixSpec(
+            "consph", "fem",
+            lambda: gen.banded(4000, 26, fill=0.85, seed=102),
+            P(83_000, 6_000_000, 927.7e6, 26_500_000, 17.48),
+        ),
+        MatrixSpec(
+            "cant", "fem",
+            lambda: gen.banded(3100, 20, fill=0.80, seed=103),
+            P(62_000, 4_000_000, 539.0e6, 17_400_000, 15.45),
+        ),
+        MatrixSpec(
+            "pwtk", "fem",
+            lambda: gen.banded(5400, 24, fill=0.90, seed=104),
+            P(218_000, 11_600_000, 1.3e9, 32_800_000, 19.10),
+        ),
+        MatrixSpec(
+            "rma10", "fem",
+            lambda: gen.banded(2300, 25, fill=0.85, seed=105),
+            P(47_000, 2_400_000, 313.0e6, 7_900_000, 19.81),
+            asymmetric=True,
+        ),
+        MatrixSpec(
+            "conf5_4-8x8-05", "clustered",
+            lambda: gen.clustered_columns(2500, 39, 224, seed=106),
+            P(49_000, 1_900_000, 149.5e6, 10_900_000, 6.85),
+            asymmetric=True,
+        ),
+        MatrixSpec(
+            "shipsec1", "fem",
+            lambda: gen.banded(4700, 26, fill=0.85, seed=107),
+            P(140_000, 7_800_000, 901.3e6, 24_100_000, 18.71),
+        ),
+        MatrixSpec(
+            "mac_econ_fwd500", "random",
+            lambda: gen.random_uniform(6500, 6.2, seed=108),
+            P(206_000, 1_300_000, 15.1e6, 6_700_000, 1.13),
+            asymmetric=True,
+        ),
+        MatrixSpec(
+            "mc2depi", "stencil",
+            lambda: gen.stencil_2d(120, 100),
+            P(525_000, 2_100_000, 16.8e6, 5_200_000, 1.60),
+            asymmetric=True,
+        ),
+        MatrixSpec(
+            "cop20k_A", "hypersparse",
+            lambda: gen.permute_symmetric(
+                gen.banded(11000, 4, fill=0.95, seed=110), seed=110
+            ),
+            P(121_000, 2_600_000, 159.8e6, 18_700_000, 4.27),
+        ),
+        MatrixSpec(
+            "scircuit", "powerlaw",
+            lambda: gen.powerlaw(8500, 6.0, exponent=1.8, max_degree=300, seed=111),
+            P(170_000, 1_000_000, 17.4e6, 5_200_000, 1.66),
+            asymmetric=True,
+        ),
+        MatrixSpec(
+            WEBBASE_ANALOG, "powerlaw",
+            lambda: gen.powerlaw(
+                24000, 3.4, exponent=2.2, max_degree=9000, hubs=3,
+                hub_in_fraction=0.012, seed=112,
+            ),
+            P(1_000_005, 3_100_000, 139.0e6, 51_100_000, 1.36),
+            asymmetric=True,
+        ),
+        MatrixSpec(
+            "af_shell10", "fem",
+            lambda: gen.banded(7300, 18, fill=0.85, seed=113),
+            P(1_500_000, 52_700_000, 3.68e9, 142_700_000, 12.90),
+        ),
+        MatrixSpec(
+            "pkustk12", "block",
+            lambda: gen.block_dense(3000, 6, blocks_per_row=12, seed=114),
+            P(94_000, 7_500_000, 5.4e9, 474_800_000, 5.65),
+        ),
+        MatrixSpec(
+            "SiO2", "block",
+            lambda: gen.block_band(2448, 136, block_bandwidth=0, seed=115),
+            P(155_000, 11_300_000, 28.5e9, 104_800_000, 136.03),
+        ),
+        MatrixSpec(
+            "case39", "block",
+            lambda: gen.block_dense(2000, 10, blocks_per_row=8, seed=116),
+            P(40_000, 1_000_000, 8.1e9, 404_700_000, 10.00),
+        ),
+        MatrixSpec(
+            "TSOPF_FS_b300_c2", "block",
+            lambda: gen.block_band(4020, 67, block_bandwidth=0, seed=117),
+            P(56_000, 8_800_000, 107.9e9, 805_700_000, 66.96),
+        ),
+        MatrixSpec(
+            "gupta3", "block",
+            lambda: gen.block_band(2034, 113, block_bandwidth=0, seed=118),
+            P(17_000, 9_300_000, 61.4e9, 270_900_000, 113.40),
+        ),
+    ]
+
+
+def asymmetric_6() -> List[MatrixSpec]:
+    """The six asymmetric matrices of Figure 8, in the paper's order."""
+    order = ["rma10", "conf5_4-8x8-05", "mac_econ_fwd500", "mc2depi", "scircuit", WEBBASE_ANALOG]
+    by_name = {s.name: s for s in representative_18()}
+    return [by_name[n] for n in order]
+
+
+# ----------------------------------------------------------------------
+# The tSparse 16-matrix dataset (Figures 13/14)
+# ----------------------------------------------------------------------
+
+
+def tsparse_16() -> List[MatrixSpec]:
+    """Scaled analogues of the 16 matrices of the tSparse paper."""
+    return [
+        MatrixSpec("mc2depi", "stencil", lambda: gen.stencil_2d(120, 100)),
+        MatrixSpec(
+            WEBBASE_ANALOG, "powerlaw",
+            lambda: gen.powerlaw(
+                24000, 3.4, exponent=2.2, max_degree=9000, hubs=3,
+                hub_in_fraction=0.012, seed=112,
+            ),
+            asymmetric=True,
+        ),
+        MatrixSpec("cage12", "random", lambda: gen.random_uniform(5200, 8.0, seed=201), asymmetric=True),
+        MatrixSpec("dawson5", "fem", lambda: gen.banded(2600, 13, fill=0.55, seed=202)),
+        MatrixSpec("lock1074", "fem", lambda: gen.banded(1074, 24, fill=0.7, seed=203)),
+        MatrixSpec(
+            "patents_main", "powerlaw",
+            lambda: gen.powerlaw(9000, 3.0, exponent=1.6, max_degree=120, seed=204),
+            asymmetric=True,
+        ),
+        MatrixSpec("struct3", "fem", lambda: gen.banded(5000, 11, fill=0.5, seed=205)),
+        MatrixSpec(
+            "wiki-Vote", "powerlaw",
+            lambda: gen.powerlaw(2000, 12.0, exponent=1.9, max_degree=700, seed=206),
+            asymmetric=True,
+        ),
+        MatrixSpec("bcsstk30", "fem", lambda: gen.banded(2900, 28, fill=0.95, seed=207)),
+        MatrixSpec("nemeth21", "fem", lambda: gen.banded(2400, 25, fill=1.0, seed=208)),
+        MatrixSpec("pcrystk03", "fem", lambda: gen.banded(2500, 23, fill=0.6, seed=209)),
+        MatrixSpec("pct20stif", "fem", lambda: gen.banded(2600, 26, fill=0.85, seed=210)),
+        MatrixSpec("pkustk06", "block", lambda: gen.block_dense(2700, 6, blocks_per_row=10, seed=211)),
+        MatrixSpec("pli", "fem", lambda: gen.banded(2200, 20, fill=0.6, seed=212)),
+        MatrixSpec(
+            "net50", "powerlaw",
+            lambda: gen.powerlaw(3700, 9.0, exponent=1.7, max_degree=500, seed=213),
+            asymmetric=True,
+        ),
+        MatrixSpec(
+            "web-NotreDame", "powerlaw",
+            lambda: gen.powerlaw(6000, 4.0, exponent=2.0, max_degree=1500, seed=214),
+            asymmetric=True,
+        ),
+    ]
+
+
+# ----------------------------------------------------------------------
+# The full-dataset sweep (Figure 6's 142-matrix stand-in)
+# ----------------------------------------------------------------------
+
+
+def full_dataset(max_matrices: Optional[int] = None) -> List[MatrixSpec]:
+    """A structured sweep across all families and compression rates.
+
+    48 matrices by default: the Figure 6 stand-in for "all 142 square
+    SuiteSparse matrices with >= 1 Gflop" (scaled down ~1000x in flops).
+    ``max_matrices`` truncates deterministically (for quick bench runs).
+    """
+    specs: List[MatrixSpec] = []
+
+    def add(name: str, category: str, build: Callable[[], COOMatrix], asym: bool = False) -> None:
+        specs.append(MatrixSpec(name, category, build, asymmetric=asym))
+
+    # FEM-like bands across width/fill (compression rates ~8 .. ~30).
+    for i, (n, hb, fill) in enumerate(
+        [
+            (2400, 12, 0.9), (3000, 16, 0.9), (3600, 20, 0.9), (4200, 24, 0.9),
+            (4800, 28, 0.9), (5400, 32, 0.9), (3200, 20, 0.6), (4000, 26, 0.7),
+            (4800, 30, 0.8), (3000, 36, 1.0), (3600, 44, 1.0), (2600, 24, 1.0),
+        ]
+    ):
+        add(f"band_n{n}_w{hb}_f{int(fill * 100)}", "fem",
+            lambda n=n, hb=hb, fill=fill, i=i: gen.banded(n, hb, fill=fill, seed=300 + i))
+
+    # Power-law graphs (compression rates ~1.2 .. ~3, heavy imbalance).
+    for i, (n, deg, expo, mx) in enumerate(
+        [
+            (6000, 3.0, 2.2, 2500), (8000, 4.0, 2.0, 2000), (10000, 3.5, 2.1, 3500),
+            (7000, 6.0, 1.9, 1200), (5000, 8.0, 1.8, 900), (9000, 5.0, 2.0, 2800),
+            (4000, 10.0, 1.7, 700), (12000, 3.0, 2.3, 4500),
+        ]
+    ):
+        add(f"powerlaw_n{n}_d{deg}", "powerlaw",
+            lambda n=n, deg=deg, expo=expo, mx=mx, i=i: gen.powerlaw(
+                n, deg, exponent=expo, max_degree=mx, seed=400 + i),
+            asym=True)
+
+    # Uniform random (compression ~1).
+    for i, (n, deg) in enumerate(
+        [(5000, 5.0), (6500, 8.0), (8000, 6.0), (4000, 12.0), (10000, 4.0), (7000, 10.0)]
+    ):
+        add(f"random_n{n}_d{deg}", "random",
+            lambda n=n, deg=deg, i=i: gen.random_uniform(n, deg, seed=500 + i), asym=True)
+
+    # Stencil meshes (compression ~1.8).
+    for i, dims in enumerate([(100, 100), (150, 80), (20, 25, 24), (16, 18, 20)]):
+        if len(dims) == 2:
+            add(f"stencil2d_{dims[0]}x{dims[1]}", "stencil",
+                lambda d=dims: gen.stencil_2d(*d))
+        else:
+            add(f"stencil3d_{dims[0]}x{dims[1]}x{dims[2]}", "stencil",
+                lambda d=dims: gen.stencil_3d(*d))
+
+    # Block-dense matrices (compression ~block size: 12 .. ~128).
+    for i, (n, blk, bpr) in enumerate(
+        [
+            (2400, 12, 4), (2800, 16, 3), (3200, 24, 2), (2400, 48, 1),
+            (2048, 64, 1), (2560, 96, 0), (2304, 128, 0), (3000, 32, 2),
+        ]
+    ):
+        if bpr == 0:
+            add(f"blockband_n{n}_b{blk}", "block",
+                lambda n=n, blk=blk, i=i: gen.block_band(n, blk, 0, seed=600 + i))
+        else:
+            add(f"blockdense_n{n}_b{blk}_r{bpr}", "block",
+                lambda n=n, blk=blk, bpr=bpr, i=i: gen.block_dense(n, blk, bpr, seed=600 + i))
+
+    # Column-clustered (chemistry-like, compression ~4 .. ~20).
+    for i, (n, k, w) in enumerate(
+        [(2500, 20, 40), (3000, 30, 80), (2000, 40, 160), (3500, 24, 48),
+         (2800, 36, 120), (2200, 48, 96)]
+    ):
+        add(f"clustered_n{n}_k{k}_w{w}", "clustered",
+            lambda n=n, k=k, w=w, i=i: gen.clustered_columns(n, k, w, seed=700 + i))
+
+    # Hypersparse (TileSpGEMM's worst case): permuted bands keep the
+    # compression rate but scatter nonzeros across the tile grid.
+    for i, (n, hb) in enumerate([(9000, 3), (11000, 4), (8000, 6), (12000, 2)]):
+        add(f"hypersparse_n{n}_w{hb}", "hypersparse",
+            lambda n=n, hb=hb, i=i: gen.permute_symmetric(
+                gen.banded(n, hb, fill=0.95, seed=800 + i), seed=800 + i))
+
+    if max_matrices is not None:
+        specs = specs[: max(int(max_matrices), 0)]
+    return specs
+
+
+def get_matrix(name: str) -> CSRMatrix:
+    """Build a suite matrix by name (searches all three suites)."""
+    for suite in (representative_18(), tsparse_16(), full_dataset()):
+        for spec in suite:
+            if spec.name == name:
+                return spec.matrix()
+    raise KeyError(f"unknown suite matrix {name!r}")

@@ -1,0 +1,163 @@
+"""Bit-mask helpers used by the tiled sparse format.
+
+The paper stores, for every 16x16 sparse tile, one 16-bit unsigned mask per
+tile row: bit ``c`` of row ``r``'s mask is set iff the tile has a nonzero at
+local position ``(r, c)``.  The symbolic phase of TileSpGEMM works almost
+entirely on these masks (AtomicOr accumulation, popcount to derive per-row
+nonzero counts, prefix popcount to derive positions), so fast vectorised
+mask arithmetic is the foundation of the whole implementation.
+
+Everything here is pure NumPy; the 16-bit popcount is served from a
+precomputed 64 KiB lookup table, which is both the fastest portable option
+and a faithful stand-in for the hardware ``__popc`` intrinsic the CUDA
+kernels use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "POPCOUNT16",
+    "popcount16",
+    "prefix_popcount",
+    "mask_nonzero_columns",
+    "masks_to_rowptr",
+    "columns_to_mask",
+]
+
+
+def _build_popcount16() -> np.ndarray:
+    """Build the 16-bit popcount lookup table (uint8, 65536 entries)."""
+    table = np.zeros(1 << 16, dtype=np.uint8)
+    # Classic doubling construction: popcount(i) = popcount(i >> 1) + (i & 1).
+    idx = np.arange(1 << 16, dtype=np.uint32)
+    table = (table + (idx & 1)).astype(np.uint8)
+    for shift in range(1, 16):
+        table = table + ((idx >> shift) & 1).astype(np.uint8)
+    return table
+
+
+#: Lookup table mapping a 16-bit value to the number of set bits.
+POPCOUNT16: np.ndarray = _build_popcount16()
+
+#: For each 16-bit mask m and column c, PREFIX16[m, c] = popcount(m & ((1<<c)-1)),
+#: i.e. the number of set bits *strictly below* bit c.  Built lazily because it
+#: is 1 MiB and only needed by the sparse accumulator.
+_PREFIX16: np.ndarray | None = None
+
+
+def popcount16(masks: np.ndarray) -> np.ndarray:
+    """Return the number of set bits of each 16-bit mask in ``masks``.
+
+    Parameters
+    ----------
+    masks:
+        Array of any shape with an unsigned integer dtype whose values fit
+        in 16 bits.
+
+    Returns
+    -------
+    numpy.ndarray of uint8 with the same shape as ``masks``.
+    """
+    return POPCOUNT16[np.asarray(masks, dtype=np.uint32)]
+
+
+def _prefix_table() -> np.ndarray:
+    global _PREFIX16
+    if _PREFIX16 is None:
+        masks = np.arange(1 << 16, dtype=np.uint32)[:, None]
+        cols = np.arange(16, dtype=np.uint32)[None, :]
+        below = masks & ((np.uint32(1) << cols) - np.uint32(1))
+        _PREFIX16 = POPCOUNT16[below]
+    return _PREFIX16
+
+
+def prefix_popcount(masks: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Rank of bit ``cols`` inside ``masks``: set bits strictly below it.
+
+    This is the key primitive of the *sparse accumulator*: given a tile-row
+    mask and a column index, it returns the offset of that column's nonzero
+    within the compacted per-row storage.
+
+    Parameters
+    ----------
+    masks:
+        16-bit masks (any shape, unsigned values < 2**16).
+    cols:
+        Column indices in [0, 16), broadcastable against ``masks``.
+    """
+    table = _prefix_table()
+    return table[np.asarray(masks, dtype=np.uint32), np.asarray(cols, dtype=np.uint32)]
+
+
+def mask_nonzero_columns(mask: int) -> np.ndarray:
+    """Return the sorted column indices of the set bits of a single mask."""
+    m = int(mask)
+    cols = [c for c in range(16) if m & (1 << c)]
+    return np.asarray(cols, dtype=np.uint8)
+
+
+def masks_to_rowptr(masks: np.ndarray) -> np.ndarray:
+    """Convert per-tile row masks to per-tile CSR-style row pointers.
+
+    Parameters
+    ----------
+    masks:
+        ``(num_tiles, 16)`` array of 16-bit row masks.
+
+    Returns
+    -------
+    ``(num_tiles, 16)`` uint8 array: entry ``[t, r]`` is the offset of tile
+    ``t``'s row ``r`` within the tile's nonzero storage.  Following the
+    paper, only 16 offsets are stored (not 17); the total nonzero count of
+    the tile lives in the ``tileNnz`` array instead, so every offset fits an
+    8-bit unsigned char (values 0..255).
+    """
+    masks = np.asarray(masks)
+    if masks.ndim != 2 or masks.shape[1] != 16:
+        raise ValueError(f"expected (num_tiles, 16) masks, got shape {masks.shape}")
+    counts = popcount16(masks).astype(np.uint16)
+    rowptr = np.zeros_like(counts)
+    np.cumsum(counts[:, :-1], axis=1, out=rowptr[:, 1:])
+    if rowptr.max(initial=0) > 255:
+        raise ValueError("tile row pointer overflows uint8; tile has > 256 nonzeros")
+    return rowptr.astype(np.uint8)
+
+
+#: For each 16-bit mask m, NTHBIT16[m, j] = column of the j-th (lowest-first)
+#: set bit, or 255 when j >= popcount(m).  1 MiB, built lazily: only the
+#: symbolic→numeric expansion of C's indices needs it.
+_NTHBIT16: np.ndarray | None = None
+
+
+def _nthbit_table() -> np.ndarray:
+    global _NTHBIT16
+    if _NTHBIT16 is None:
+        table = np.full((1 << 16, 16), 255, dtype=np.uint8)
+        masks = np.arange(1 << 16, dtype=np.uint32)
+        rank = np.zeros(1 << 16, dtype=np.uint8)
+        for c in range(16):
+            has_bit = (masks >> c) & 1 == 1
+            table[has_bit, rank[has_bit]] = c
+            rank[has_bit] += 1
+        _NTHBIT16 = table
+    return _NTHBIT16
+
+
+def nth_set_bit(masks: np.ndarray, ranks: np.ndarray) -> np.ndarray:
+    """Column of the ``ranks``-th set bit of each 16-bit mask.
+
+    This converts a symbolic row mask plus within-row rank back into a
+    local column index; the numeric step uses it to materialise ``C``'s
+    ``colidx`` array from the step-2 masks.
+    """
+    table = _nthbit_table()
+    return table[np.asarray(masks, dtype=np.uint32), np.asarray(ranks, dtype=np.intp)]
+
+
+def columns_to_mask(rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Build 16 row masks from local (row, col) coordinates of one tile."""
+    masks = np.zeros(16, dtype=np.uint16)
+    np.bitwise_or.at(masks, np.asarray(rows, dtype=np.intp), (np.uint16(1) << np.asarray(cols, dtype=np.uint16)))
+    return masks

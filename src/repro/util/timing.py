@@ -1,0 +1,83 @@
+"""Phase timing used to reproduce the paper's runtime-breakdown figures.
+
+The paper reports (Figures 10 and 14) how TileSpGEMM's runtime splits
+across *step 1* (tile layout), *step 2* (symbolic), *step 3* (numeric) and
+*memory allocation*.  Every algorithm in this repository therefore runs
+under a :class:`PhaseTimer` that accumulates wall-clock time per named
+phase, so the breakdown benches can read the split straight off the result
+object.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+__all__ = ["PhaseTimer"]
+
+
+class PhaseTimer:
+    """Accumulates wall-clock seconds per named phase.
+
+    Phases may be entered repeatedly; durations add up.  Nested phases are
+    allowed and accounted independently (the outer phase includes the inner
+    one, exactly like CUDA event ranges around nested kernels would).
+
+    Examples
+    --------
+    >>> timer = PhaseTimer()
+    >>> with timer.phase("step1"):
+    ...     pass
+    >>> "step1" in timer.seconds
+    True
+    """
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context manager timing one execution of phase ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Manually credit ``seconds`` to phase ``name``."""
+        if seconds < 0:
+            raise ValueError("cannot add negative time")
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    def count(self, name: str) -> int:
+        """Number of times phase ``name`` was entered."""
+        return self._counts.get(name, 0)
+
+    @property
+    def total(self) -> float:
+        """Sum of all phase times in seconds."""
+        return sum(self.seconds.values())
+
+    def fractions(self) -> Dict[str, float]:
+        """Per-phase fraction of the total (empty dict if nothing timed)."""
+        total = self.total
+        if total <= 0.0:
+            return {}
+        return {name: sec / total for name, sec in self.seconds.items()}
+
+    def merge(self, other: "PhaseTimer") -> None:
+        """Fold another timer's accumulated phases into this one."""
+        for name, sec in other.seconds.items():
+            self.seconds[name] = self.seconds.get(name, 0.0) + sec
+        for name, cnt in other._counts.items():
+            self._counts[name] = self._counts.get(name, 0) + cnt
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{k}={v * 1e3:.3f}ms" for k, v in sorted(self.seconds.items()))
+        return f"PhaseTimer({parts})"

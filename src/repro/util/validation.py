@@ -1,0 +1,27 @@
+"""Small argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["check_dims_match", "check_square", "require_dtype"]
+
+
+def check_dims_match(a_shape, b_shape) -> None:
+    """Raise ``ValueError`` unless ``a_shape[1] == b_shape[0]`` (A @ B)."""
+    if a_shape[1] != b_shape[0]:
+        raise ValueError(
+            f"dimension mismatch for SpGEMM: A is {a_shape[0]}x{a_shape[1]}, "
+            f"B is {b_shape[0]}x{b_shape[1]}"
+        )
+
+
+def check_square(shape) -> None:
+    """Raise ``ValueError`` unless the shape is square."""
+    if shape[0] != shape[1]:
+        raise ValueError(f"expected a square matrix, got {shape[0]}x{shape[1]}")
+
+
+def require_dtype(array: np.ndarray, dtype, name: str) -> np.ndarray:
+    """Return ``array`` cast to ``dtype``, copying only when needed."""
+    return np.ascontiguousarray(array, dtype=dtype) if array.dtype != np.dtype(dtype) else np.ascontiguousarray(array)

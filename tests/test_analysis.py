@@ -1,0 +1,107 @@
+"""Tests for the analysis utilities: regression, breakdowns, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    BUCKETS,
+    estimated_breakdown,
+    fit_loglinear,
+    fractions,
+    format_speedup,
+    format_table,
+    geometric_mean,
+    measured_breakdown,
+    paper_vs_measured_row,
+)
+from repro.baselines import get_algorithm
+from repro.gpu import RTX3090, estimate_run
+from tests.conftest import random_csr
+
+
+class TestRegression:
+    def test_recovers_exact_line(self):
+        x = np.array([1.0, 10.0, 100.0, 1000.0])
+        y = 3.0 * np.log10(x) + 2.0
+        line = fit_loglinear(x, y)
+        assert line.slope == pytest.approx(3.0)
+        assert line.intercept == pytest.approx(2.0)
+        assert abs(line.r_value) == pytest.approx(1.0)
+        assert np.allclose(line.predict(x), y)
+
+    def test_drops_failures(self):
+        x = np.array([1.0, 10.0, 100.0, -5.0, 50.0])
+        y = np.array([1.0, 2.0, 3.0, 99.0, 0.0])  # negative x and zero y dropped
+        line = fit_loglinear(x, y)
+        assert line.n == 3
+
+    def test_degenerate_single_point(self):
+        line = fit_loglinear([10.0], [5.0])
+        assert line.slope == 0.0
+        assert line.intercept == 5.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([2.0, 0.0, 8.0]) == pytest.approx(4.0)  # zeros excluded
+        assert geometric_mean([]) == 0.0
+
+
+class TestBreakdown:
+    def test_measured_tilespgemm_buckets(self):
+        a = random_csr(100, 100, 0.08, seed=111)
+        res = get_algorithm("tilespgemm")(a, a)
+        bd = measured_breakdown(res)
+        assert set(bd) == set(BUCKETS)
+        assert bd["step3"] > 0
+        assert sum(bd.values()) == pytest.approx(res.timer.total)
+
+    def test_measured_esc_maps_phases(self):
+        a = random_csr(100, 100, 0.08, seed=112)
+        res = get_algorithm("bhsparse_esc")(a, a)
+        bd = measured_breakdown(res)
+        assert bd["step1"] > 0  # analysis
+        assert bd["step3"] > 0  # sorting+compression
+
+    def test_estimated_breakdown(self):
+        a = random_csr(100, 100, 0.08, seed=113)
+        res = get_algorithm("tilespgemm")(a, a)
+        est = estimate_run(res, RTX3090)
+        bd = estimated_breakdown(est)
+        assert sum(bd.values()) == pytest.approx(est.seconds)
+
+    def test_fractions(self):
+        fr = fractions({"a": 1.0, "b": 3.0})
+        assert fr["b"] == pytest.approx(0.75)
+        assert fractions({"a": 0.0}) == {"a": 0.0}
+
+    def test_unknown_phase_rejected(self):
+        from repro.analysis.breakdown import _bucket
+
+        with pytest.raises(KeyError):
+            _bucket("warpfield")
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(["name", "x"], [["a", 1.5], ["bb", 22.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith("x")
+        assert "22.25" in lines[3]
+
+    def test_format_table_title(self):
+        out = format_table(["h"], [["v"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_row_length_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_format_speedup(self):
+        assert format_speedup(2.784) == "2.78x"
+        assert format_speedup(0.0) == "fail"
+        assert format_speedup(float("nan")) == "fail"
+
+    def test_paper_vs_measured_row(self):
+        row = paper_vs_measured_row("m", {"cr": 2.0}, {"cr": 1.9}, ["cr"])
+        assert row == ["m", 2.0, 1.9]

@@ -1,0 +1,190 @@
+"""Tests for the application layer: sparse ops, AMG, graphs, MCL."""
+
+import itertools
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps import (
+    add,
+    aggregation_prolongator,
+    build_hierarchy,
+    column_sums,
+    elementwise_power,
+    galerkin_product,
+    hadamard,
+    lower_triangle,
+    markov_clustering,
+    normalize_columns,
+    scale_columns,
+    triangle_count,
+    two_hop_frontier,
+)
+from repro.formats.csr import CSRMatrix
+from repro.matrices import generators as gen
+from tests.conftest import random_csr
+
+
+def graph_csr(g) -> CSRMatrix:
+    return CSRMatrix.from_scipy(nx.to_scipy_sparse_array(g).tocsr().astype(float))
+
+
+class TestSparseOps:
+    def test_hadamard_matches_dense(self):
+        a = random_csr(40, 30, 0.2, seed=121)
+        b = random_csr(40, 30, 0.25, seed=122)
+        got = hadamard(a, b).to_dense()
+        assert np.allclose(got, a.to_dense() * b.to_dense())
+
+    def test_hadamard_disjoint_patterns(self):
+        a = CSRMatrix.from_dense(np.diag([1.0, 2.0]))
+        b = CSRMatrix.from_dense(np.array([[0.0, 3.0], [4.0, 0.0]]))
+        assert hadamard(a, b).nnz == 0
+
+    def test_hadamard_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            hadamard(random_csr(3, 3, 0.5, seed=0), random_csr(4, 4, 0.5, seed=0))
+
+    def test_add_matches_dense(self):
+        a = random_csr(25, 25, 0.2, seed=123)
+        b = random_csr(25, 25, 0.2, seed=124)
+        assert np.allclose(add(a, b).to_dense(), a.to_dense() + b.to_dense())
+
+    def test_column_sums(self):
+        a = random_csr(20, 15, 0.3, seed=125)
+        assert np.allclose(column_sums(a), a.to_dense().sum(axis=0))
+
+    def test_scale_columns(self):
+        a = random_csr(10, 12, 0.3, seed=126)
+        s = np.arange(1.0, 13.0)
+        assert np.allclose(scale_columns(a, s).to_dense(), a.to_dense() @ np.diag(s))
+
+    def test_normalize_columns_stochastic(self):
+        a = random_csr(30, 30, 0.2, seed=127)
+        a = CSRMatrix(a.shape, a.indptr, a.indices, np.abs(a.val) + 0.1)
+        sums = column_sums(normalize_columns(a))
+        nonempty = sums > 0
+        assert np.allclose(sums[nonempty], 1.0)
+
+    def test_elementwise_power(self):
+        a = random_csr(10, 10, 0.4, seed=128)
+        a = CSRMatrix(a.shape, a.indptr, a.indices, np.abs(a.val) + 0.5)
+        got = elementwise_power(a, 2.0)
+        assert np.allclose(got.val, a.val**2)
+
+
+class TestAMG:
+    def test_prolongator_is_partition(self):
+        a = gen.stencil_2d(12, 12).to_csr()
+        p = aggregation_prolongator(a, seed=1)
+        # Every fine node belongs to exactly one aggregate with weight 1.
+        assert p.nnz == a.shape[0]
+        assert np.all(p.val == 1.0)
+        assert p.shape[1] < a.shape[0]
+        # Every aggregate is non-empty.
+        assert np.all(np.bincount(p.indices, minlength=p.shape[1]) >= 1)
+
+    def test_galerkin_matches_dense_triple_product(self):
+        a = gen.stencil_2d(8, 8).to_csr()
+        p = aggregation_prolongator(a, seed=2)
+        coarse = galerkin_product(a, p)
+        expected = p.to_dense().T @ a.to_dense() @ p.to_dense()
+        assert np.allclose(coarse.to_dense(), expected)
+
+    @pytest.mark.parametrize("method", ["tilespgemm", "speck"])
+    def test_hierarchy_coarsens(self, method):
+        a = gen.stencil_2d(20, 20).to_csr()
+        h = build_hierarchy(a, max_levels=6, method=method)
+        sizes = [l.a.shape[0] for l in h.levels]
+        assert sizes[0] == 400
+        assert all(sizes[i + 1] < sizes[i] for i in range(len(sizes) - 1))
+        assert h.total_spgemm_flops > 0
+        assert h.operator_complexity >= 1.0
+
+    def test_hierarchy_respects_min_coarse(self):
+        a = gen.stencil_2d(10, 10).to_csr()
+        h = build_hierarchy(a, max_levels=20, min_coarse=30)
+        assert all(l.a.shape[0] > 0 for l in h.levels)
+        # Only the last level may be at or below the threshold + one step.
+        assert h.levels[-2].a.shape[0] > 30 or h.num_levels <= 2
+
+    def test_hierarchy_galerkin_consistency(self):
+        a = gen.stencil_2d(9, 9).to_csr()
+        h = build_hierarchy(a, max_levels=3)
+        lvl = h.levels[0]
+        expected = lvl.p.to_dense().T @ lvl.a.to_dense() @ lvl.p.to_dense()
+        assert np.allclose(h.levels[1].a.to_dense(), expected)
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            build_hierarchy(random_csr(4, 5, 0.5, seed=0))
+
+
+class TestGraphs:
+    def test_lower_triangle(self):
+        a = random_csr(20, 20, 0.3, seed=131)
+        lt = lower_triangle(a).to_dense()
+        assert np.all(np.triu(lt) == 0)
+        full = a.to_dense()
+        assert np.array_equal(lt != 0, np.tril(full, -1) != 0)
+
+    @pytest.mark.parametrize("seed,p", [(1, 0.1), (2, 0.05), (3, 0.2)])
+    def test_triangle_count_matches_networkx(self, seed, p):
+        g = nx.gnp_random_graph(120, p, seed=seed)
+        mine = triangle_count(graph_csr(g))
+        ref = sum(nx.triangles(g).values()) // 3
+        assert mine == ref
+
+    def test_triangle_count_complete_graph(self):
+        g = nx.complete_graph(10)
+        assert triangle_count(graph_csr(g)) == 10 * 9 * 8 // 6
+
+    def test_triangle_count_triangle_free(self):
+        g = nx.cycle_graph(8)  # even cycle: no triangles
+        assert triangle_count(graph_csr(g)) == 0
+
+    def test_two_hop_frontier(self):
+        g = nx.path_graph(6)
+        two = two_hop_frontier(graph_csr(g)).to_dense()
+        # In a path, node 0 reaches node 2 in exactly two hops.
+        assert two[0, 2] != 0
+        assert two[0, 3] == 0
+
+
+class TestMCL:
+    def test_separates_two_cliques(self):
+        edges = (
+            list(itertools.combinations(range(6), 2))
+            + list(itertools.combinations(range(6, 12), 2))
+            + [(5, 6)]
+        )
+        res = markov_clustering(graph_csr(nx.Graph(edges)))
+        assert res.converged
+        assert sorted(map(sorted, res.clusters)) == [list(range(6)), list(range(6, 12))]
+
+    def test_single_clique_single_cluster(self):
+        g = nx.complete_graph(8)
+        res = markov_clustering(graph_csr(g))
+        assert len(res.clusters) == 1
+
+    def test_rejects_negative_weights(self):
+        a = CSRMatrix.from_dense(np.array([[0.0, -1.0], [-1.0, 0.0]]))
+        with pytest.raises(ValueError):
+            markov_clustering(a)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            markov_clustering(random_csr(3, 4, 0.5, seed=0))
+
+    def test_clusters_partition_vertices(self):
+        g = nx.gnp_random_graph(40, 0.15, seed=4)
+        res = markov_clustering(graph_csr(g), max_iters=30)
+        seen = sorted(v for cluster in res.clusters for v in cluster)
+        assert seen == list(range(40))
+
+    def test_flops_accumulated(self):
+        g = nx.gnp_random_graph(30, 0.2, seed=5)
+        res = markov_clustering(graph_csr(g))
+        assert res.total_spgemm_flops > 0
+        assert res.iterations >= 1

@@ -1,0 +1,53 @@
+"""Tests for the artifact-style command line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.formats.mtx import write_mtx
+from tests.conftest import random_csr
+
+
+@pytest.fixture
+def mtx_file(tmp_path):
+    path = tmp_path / "a.mtx"
+    write_mtx(path, random_csr(60, 60, 0.1, seed=191))
+    return str(path)
+
+
+class TestCLI:
+    def test_a_squared_succeeds(self, mtx_file, capsys):
+        assert main(["-d", "0", "-aat", "0", mtx_file]) == 0
+        out = capsys.readouterr().out
+        assert "rows = 60, cols = 60" in out
+        assert "tile size: 16 x 16" in out
+        assert "check passed: yes" in out
+        assert "step3 time:" in out
+        assert "number of nonzeros of C:" in out
+
+    def test_aat_mode(self, mtx_file, capsys):
+        assert main(["-aat", "1", mtx_file]) == 0
+        assert "check passed: yes" in capsys.readouterr().out
+
+    def test_device_selection(self, mtx_file, capsys):
+        assert main(["-d", "1", mtx_file]) == 0
+        assert "RTX 3090" in capsys.readouterr().out
+
+    def test_bad_device(self, mtx_file):
+        assert main(["-d", "7", mtx_file]) == 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main([str(tmp_path / "missing.mtx")])
+
+    def test_module_invocation(self, mtx_file):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", mtx_file],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0
+        assert "check passed: yes" in proc.stdout

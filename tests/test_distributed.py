@@ -1,0 +1,170 @@
+"""Tests for the distributed SUMMA extension."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import ProcessGrid, summa_spgemm
+from repro.distributed.summa import csr_wire_bytes
+from repro.formats.csr import CSRMatrix
+from repro.matrices import generators
+from tests.conftest import random_csr, scipy_product
+
+GRIDS = [(1, 1), (2, 2), (1, 3), (3, 1), (2, 3), (4, 4)]
+
+
+class TestProcessGrid:
+    def test_block_partition_covers_everything(self):
+        grid = ProcessGrid(3, 2)
+        blocks = grid.row_blocks(100)
+        assert blocks[0][0] == 0
+        assert blocks[-1][1] == 100
+        for (a0, a1), (b0, b1) in zip(blocks, blocks[1:]):
+            assert a1 == b0
+
+    def test_blocks_are_tile_aligned(self):
+        grid = ProcessGrid(4, 4, tile_size=16)
+        for lo, hi in grid.row_blocks(1000)[:-1]:
+            assert lo % 16 == 0
+
+    def test_owner_lookup(self):
+        grid = ProcessGrid(2, 2)
+        blocks_r = grid.row_blocks(64)
+        assert grid.owner(0, 0, (64, 64)) == (0, 0)
+        assert grid.owner(63, 63, (64, 64)) == (1, 1)
+        mid = blocks_r[1][0]
+        assert grid.owner(mid, 0, (64, 64))[0] == 1
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            ProcessGrid(0, 2)
+
+    def test_num_processes(self):
+        assert ProcessGrid(3, 5).num_processes == 15
+
+
+class TestSummaCorrectness:
+    @pytest.mark.parametrize("shape", GRIDS)
+    def test_matches_single_node(self, shape):
+        a = random_csr(150, 150, 0.06, seed=251)
+        res = summa_spgemm(a, a, ProcessGrid(*shape))
+        assert res.c.allclose(scipy_product(a, a)), shape
+
+    def test_rectangular_operands(self):
+        a = random_csr(90, 120, 0.08, seed=252)
+        b = random_csr(120, 70, 0.08, seed=253)
+        res = summa_spgemm(a, b, ProcessGrid(2, 3))
+        assert res.c.allclose(scipy_product(a, b))
+
+    def test_empty_inputs(self):
+        e = CSRMatrix.empty((64, 64))
+        res = summa_spgemm(e, e, ProcessGrid(2, 2))
+        assert res.c.nnz == 0
+
+    def test_other_local_method(self):
+        a = random_csr(80, 80, 0.1, seed=254)
+        res = summa_spgemm(a, a, ProcessGrid(2, 2), method="nsparse_hash")
+        assert res.c.allclose(scipy_product(a, a))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            summa_spgemm(
+                random_csr(10, 10, 0.5, seed=0),
+                random_csr(11, 11, 0.5, seed=0),
+                ProcessGrid(2, 2),
+            )
+
+
+class TestCommunicationAccounting:
+    @pytest.fixture(scope="class")
+    def fem(self):
+        return generators.banded(600, 8, fill=0.9, seed=255).to_csr()
+
+    def test_single_process_no_communication(self, fem):
+        res = summa_spgemm(fem, fem, ProcessGrid(1, 1))
+        assert res.total_comm_volume == 0
+        assert res.comm_s.sum() == 0.0
+        assert res.comm_fraction == 0.0
+
+    def test_ledger_balances(self, fem):
+        for shape in [(2, 2), (2, 3), (4, 4)]:
+            res = summa_spgemm(fem, fem, ProcessGrid(*shape))
+            assert res.sent_bytes.sum() == pytest.approx(res.recv_bytes.sum())
+
+    def test_volume_grows_with_grid(self, fem):
+        v = [
+            summa_spgemm(fem, fem, ProcessGrid(p, p)).total_comm_volume
+            for p in (1, 2, 4)
+        ]
+        assert v[0] < v[1] < v[2]
+
+    def test_comm_fraction_grows_with_grid(self, fem):
+        f2 = summa_spgemm(fem, fem, ProcessGrid(2, 2)).comm_fraction
+        f4 = summa_spgemm(fem, fem, ProcessGrid(4, 4)).comm_fraction
+        assert 0 < f2 <= f4 < 1
+
+    def test_stage_volumes_recorded(self, fem):
+        res = summa_spgemm(fem, fem, ProcessGrid(2, 2))
+        assert len(res.per_stage_volume) == res.stages
+        assert sum(res.per_stage_volume) == res.total_comm_volume
+
+    def test_slower_interconnect_costs_more(self, fem):
+        fast = summa_spgemm(fem, fem, ProcessGrid(2, 2))
+        slow = summa_spgemm(
+            fem, fem, ProcessGrid(2, 2), beta_s_per_byte=1.0 / 1e9
+        )
+        assert slow.critical_path_s > fast.critical_path_s
+
+    def test_compute_imbalance_reported(self, fem):
+        res = summa_spgemm(fem, fem, ProcessGrid(2, 2))
+        assert res.compute_imbalance() >= 1.0
+
+    def test_wire_bytes_formula(self):
+        m = random_csr(10, 10, 0.3, seed=256)
+        assert csr_wire_bytes(m) == 4 * (11 + m.nnz) + 8 * m.nnz
+
+
+class TestSubmatrix:
+    def test_submatrix_matches_dense_slice(self):
+        a = random_csr(40, 50, 0.2, seed=257)
+        blk = a.submatrix((10, 30), (5, 45))
+        assert np.array_equal(blk.to_dense(), a.to_dense()[10:30, 5:45])
+
+    def test_empty_range(self):
+        a = random_csr(20, 20, 0.3, seed=258)
+        blk = a.submatrix((5, 5), (0, 20))
+        assert blk.shape == (0, 20)
+        assert blk.nnz == 0
+
+    def test_out_of_bounds_rejected(self):
+        a = random_csr(10, 10, 0.3, seed=259)
+        with pytest.raises(ValueError):
+            a.submatrix((0, 11), (0, 10))
+        with pytest.raises(ValueError):
+            a.submatrix((5, 3), (0, 10))
+
+    def test_blocks_tile_back_to_whole(self):
+        a = random_csr(64, 64, 0.15, seed=260)
+        grid = ProcessGrid(2, 2)
+        dense = np.zeros((64, 64))
+        for (r0, r1) in grid.row_blocks(64):
+            for (c0, c1) in grid.col_blocks(64):
+                dense[r0:r1, c0:c1] = a.submatrix((r0, r1), (c0, c1)).to_dense()
+        assert np.array_equal(dense, a.to_dense())
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    st.integers(1, 3),
+    st.integers(1, 3),
+    st.integers(8, 60),
+    st.integers(0, 3),
+)
+def test_property_summa_matches_reference(p_rows, p_cols, n, seed):
+    """Any grid shape on any small random matrix: SUMMA == single node."""
+    a = random_csr(n, n, 0.15, seed=1000 + seed * 60 + n)
+    res = summa_spgemm(a, a, ProcessGrid(p_rows, p_cols))
+    assert res.c.allclose(scipy_product(a, a))

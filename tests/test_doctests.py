@@ -1,0 +1,17 @@
+"""Run the doctest examples embedded in the library's docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.util.arrays
+import repro.util.timing
+
+MODULES = [repro.util.arrays, repro.util.timing]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} has no doctests to run"
+    assert result.failed == 0

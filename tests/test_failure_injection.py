@@ -1,0 +1,191 @@
+"""Failure injection: malformed, adversarial and non-finite inputs.
+
+A production library must either produce a correct result or raise a
+clear error — never return silent garbage.  These tests feed every layer
+corrupted or extreme inputs and pin down which of the two happens.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import get_algorithm
+from repro.core import TileMatrix, tile_spgemm
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from tests.conftest import random_csr
+
+
+class TestNonFiniteValues:
+    """NaN/inf propagate through SpGEMM like any arithmetic — they must
+    appear in the result, not vanish or crash."""
+
+    def test_nan_propagates(self):
+        d = np.zeros((20, 20))
+        d[2, 3] = np.nan
+        d[3, 5] = 1.0
+        a = CSRMatrix.from_dense(d)
+        res = tile_spgemm(TileMatrix.from_csr(a), TileMatrix.from_csr(a))
+        assert np.isnan(res.c.to_dense()[2, 5])
+
+    def test_inf_propagates(self):
+        d = np.zeros((20, 20))
+        d[1, 2] = np.inf
+        d[2, 4] = 2.0
+        a = CSRMatrix.from_dense(d)
+        res = tile_spgemm(TileMatrix.from_csr(a), TileMatrix.from_csr(a))
+        assert np.isinf(res.c.to_dense()[1, 4])
+
+    def test_inf_times_zero_structural(self):
+        # inf * 0 never happens structurally (zeros are not stored), so no
+        # spurious NaNs appear where the paper's kernels would not produce
+        # them either.
+        d = np.zeros((8, 8))
+        d[0, 1] = np.inf
+        a = CSRMatrix.from_dense(d)
+        res = tile_spgemm(TileMatrix.from_csr(a), TileMatrix.from_csr(a))
+        assert not np.isnan(res.c.to_dense()).any()
+
+
+class TestMalformedCSR:
+    def test_decreasing_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            CSRMatrix((2, 2), np.array([0, 2, 1]), np.array([0, 1]), np.array([1.0, 1.0]))
+
+    def test_wrong_indptr_length_rejected(self):
+        with pytest.raises(ValueError):
+            CSRMatrix((3, 3), np.array([0, 1]), np.array([0]), np.array([1.0]))
+
+    def test_val_indices_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CSRMatrix((1, 3), np.array([0, 2]), np.array([0, 1]), np.array([1.0]))
+
+    def test_negative_column_rejected(self):
+        with pytest.raises(ValueError):
+            CSRMatrix((1, 3), np.array([0, 1]), np.array([-1]), np.array([1.0]))
+
+
+class TestCorruptedTileMatrix:
+    """Each corruption of the tiled structure must be caught by validate()."""
+
+    @pytest.fixture
+    def tiled(self):
+        return TileMatrix.from_csr(random_csr(64, 64, 0.2, seed=301))
+
+    def test_tilennz_truncated(self, tiled):
+        tiled.tilennz = tiled.tilennz[:-1]
+        with pytest.raises(ValueError):
+            tiled.validate()
+
+    def test_tilennz_wrong_total(self, tiled):
+        tiled.tilennz = tiled.tilennz.copy()
+        tiled.tilennz[-1] += 1
+        with pytest.raises(ValueError):
+            tiled.validate()
+
+    def test_tileptr_not_monotone(self, tiled):
+        assert tiled.num_tile_rows >= 2
+        tiled.tileptr = tiled.tileptr.copy()
+        tiled.tileptr[1], tiled.tileptr[2] = tiled.tileptr[2] + 1, tiled.tileptr[1]
+        with pytest.raises(ValueError):
+            tiled.validate()
+
+    def test_local_index_out_of_range(self, tiled):
+        tiled.colidx = tiled.colidx.copy()
+        tiled.colidx[0] = 16
+        with pytest.raises(ValueError):
+            tiled.validate()
+
+    def test_tile_column_out_of_range(self, tiled):
+        tiled.tilecolidx = tiled.tilecolidx.copy()
+        tiled.tilecolidx[-1] = tiled.num_tile_cols + 5
+        with pytest.raises(ValueError):
+            tiled.validate()
+
+    def test_unsorted_nonzeros_within_tile(self, tiled):
+        # Swap two nonzeros of the first tile (breaks row-major order).
+        assert tiled.tilennz[1] - tiled.tilennz[0] >= 2
+        for arr_name in ("rowidx", "colidx", "val"):
+            arr = getattr(tiled, arr_name).copy()
+            arr[[0, 1]] = arr[[1, 0]]
+            setattr(tiled, arr_name, arr)
+        with pytest.raises(ValueError):
+            tiled.validate()
+
+
+class TestAdversarialWorkloads:
+    def test_all_entries_in_one_tile(self):
+        d = np.zeros((64, 64))
+        d[0:16, 0:16] = 1.0
+        a = CSRMatrix.from_dense(d)
+        res = tile_spgemm(TileMatrix.from_csr(a), TileMatrix.from_csr(a))
+        assert np.allclose(res.c.to_dense(), d @ d)
+
+    def test_permutation_matrix_times_itself(self):
+        rng = np.random.default_rng(302)
+        perm = rng.permutation(50)
+        p = COOMatrix(
+            (50, 50), np.arange(50), perm, np.ones(50)
+        ).to_csr()
+        res = tile_spgemm(TileMatrix.from_csr(p), TileMatrix.from_csr(p))
+        expected = p.to_dense() @ p.to_dense()
+        assert np.array_equal(res.c.to_dense(), expected)
+
+    def test_extremely_unbalanced_all_methods(self):
+        # One row holds 90 % of the nonzeros.
+        rng = np.random.default_rng(303)
+        n = 100
+        rows = np.concatenate([np.zeros(360, dtype=np.int64), rng.integers(1, n, 40)])
+        cols = rng.integers(0, n, rows.size)
+        a = COOMatrix((n, n), rows, cols, np.ones(rows.size)).to_csr()
+        ref = None
+        for method in ("tilespgemm", "speck", "bhsparse_esc", "rmerge"):
+            c = get_algorithm(method)(a, a).c
+            if ref is None:
+                ref = c
+            else:
+                assert c.allclose(ref), method
+
+    def test_band_exactly_on_tile_boundaries(self):
+        # Nonzeros only on columns {15, 16}: every row straddles two tiles.
+        n = 64
+        rows = np.repeat(np.arange(n, dtype=np.int64), 2)
+        cols = np.tile(np.array([15, 16], dtype=np.int64), n)
+        a = COOMatrix((n, n), rows, cols, np.ones(2 * n)).to_csr()
+        res = tile_spgemm(TileMatrix.from_csr(a), TileMatrix.from_csr(a))
+        assert np.allclose(res.c.to_dense(), a.to_dense() @ a.to_dense())
+
+
+class TestPageRankEdges:
+    def test_dangling_nodes_mass_conserved(self):
+        d = np.zeros((5, 5))
+        d[0, 1] = 1.0  # nodes 2..4 dangle
+        from repro.apps import pagerank
+
+        r = pagerank(CSRMatrix.from_dense(d))
+        assert r.sum() == pytest.approx(1.0)
+        assert (r > 0).all()
+
+    def test_bad_damping_rejected(self):
+        from repro.apps import pagerank
+
+        a = random_csr(5, 5, 0.5, seed=304)
+        for bad in (0.0, 1.0, -0.2, 1.5):
+            with pytest.raises(ValueError):
+                pagerank(a, damping=bad)
+
+    def test_rectangular_rejected(self):
+        from repro.apps import pagerank
+
+        with pytest.raises(ValueError):
+            pagerank(random_csr(4, 5, 0.5, seed=305))
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        from repro.apps import pagerank
+
+        g = nx.gnp_random_graph(60, 0.1, seed=6, directed=True)
+        adj = CSRMatrix.from_scipy(nx.to_scipy_sparse_array(g).tocsr().astype(float))
+        mine = pagerank(adj, tol=1e-12)
+        ref = nx.pagerank(g, alpha=0.85, tol=1e-12)
+        assert np.allclose(mine, [ref[i] for i in range(60)], atol=1e-8)

@@ -1,0 +1,183 @@
+"""Tests for the COO and CSR format substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from tests.conftest import random_csr
+
+
+def dense_strategy(max_dim=12):
+    return st.integers(2, max_dim).flatmap(
+        lambda n: st.integers(1, max_dim).flatmap(
+            lambda m: st.lists(
+                st.lists(
+                    st.sampled_from([0.0, 0.0, 0.0, 1.0, -2.5, 3.25]),
+                    min_size=m,
+                    max_size=m,
+                ),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+
+
+class TestCOO:
+    def test_empty(self):
+        m = COOMatrix.empty((3, 4))
+        assert m.nnz == 0
+        assert m.to_dense().shape == (3, 4)
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix((2, 2), np.array([2]), np.array([0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            COOMatrix((2, 2), np.array([0]), np.array([-1]), np.array([1.0]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix((2, 2), np.array([0]), np.array([0, 1]), np.array([1.0]))
+
+    def test_sum_duplicates_merges_and_sorts(self):
+        m = COOMatrix(
+            (3, 3),
+            np.array([1, 0, 1, 1]),
+            np.array([2, 0, 2, 0]),
+            np.array([1.0, 5.0, 2.0, 7.0]),
+        ).sum_duplicates()
+        assert m.row.tolist() == [0, 1, 1]
+        assert m.col.tolist() == [0, 0, 2]
+        assert m.val.tolist() == [5.0, 7.0, 3.0]
+
+    def test_sum_duplicates_keeps_cancellation_as_explicit_zero(self):
+        m = COOMatrix(
+            (1, 1), np.array([0, 0]), np.array([0, 0]), np.array([1.0, -1.0])
+        ).sum_duplicates()
+        assert m.nnz == 1
+        assert m.val[0] == 0.0
+
+    def test_prune(self):
+        m = COOMatrix((1, 3), np.array([0, 0]), np.array([0, 1]), np.array([0.0, 2.0]))
+        assert m.prune().nnz == 1
+
+    def test_transpose_dense_equiv(self):
+        m = COOMatrix.from_dense(np.arange(6.0).reshape(2, 3))
+        assert np.array_equal(m.transpose().to_dense(), m.to_dense().T)
+
+    def test_from_dense_roundtrip(self):
+        d = np.array([[0.0, 1.0], [2.0, 0.0], [0.0, 0.0]])
+        assert np.array_equal(COOMatrix.from_dense(d).to_dense(), d)
+
+    def test_memory_bytes(self):
+        m = COOMatrix((4, 4), np.array([0]), np.array([1]), np.array([2.0]))
+        assert m.memory_bytes() == 8 + 8 + 8
+
+
+class TestCSRStructure:
+    def test_from_coo_sorted_rows(self):
+        coo = COOMatrix(
+            (3, 4), np.array([2, 0, 2]), np.array([3, 1, 0]), np.array([1.0, 2.0, 3.0])
+        )
+        m = CSRMatrix.from_coo(coo)
+        assert m.indptr.tolist() == [0, 1, 1, 3]
+        assert m.indices.tolist() == [1, 0, 3]
+        assert m.val.tolist() == [2.0, 3.0, 1.0]
+
+    def test_validation_rejects_bad_indptr(self):
+        with pytest.raises(ValueError):
+            CSRMatrix((2, 2), np.array([0, 2]), np.array([0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            CSRMatrix((2, 2), np.array([0, 1, 0]), np.array([0]), np.array([1.0]))
+
+    def test_validation_rejects_column_out_of_range(self):
+        with pytest.raises(ValueError):
+            CSRMatrix((1, 2), np.array([0, 1]), np.array([2]), np.array([1.0]))
+
+    def test_identity(self):
+        i = CSRMatrix.identity(4)
+        assert np.array_equal(i.to_dense(), np.eye(4))
+
+    def test_row_access(self):
+        m = random_csr(20, 30, 0.2, seed=1)
+        cols, vals = m.row(3)
+        dense = m.to_dense()
+        assert np.array_equal(dense[3][cols], vals)
+        assert np.count_nonzero(dense[3]) == cols.size
+
+    def test_row_lengths(self):
+        m = random_csr(15, 15, 0.2, seed=2)
+        assert m.row_lengths().sum() == m.nnz
+
+    def test_transpose_involution(self):
+        m = random_csr(23, 31, 0.15, seed=3)
+        t = m.transpose()
+        assert t.shape == (31, 23)
+        assert np.array_equal(t.to_dense(), m.to_dense().T)
+        assert m.transpose().transpose().allclose(m)
+
+    def test_transpose_indices_sorted(self):
+        m = random_csr(40, 40, 0.1, seed=4).transpose()
+        for i in range(m.nrows):
+            cols, _ = m.row(i)
+            assert np.all(np.diff(cols) > 0)
+
+    def test_prune_keeps_structure_valid(self):
+        m = random_csr(30, 30, 0.2, seed=5, explicit_zeros=True)
+        p = m.prune()
+        p._validate()
+        assert p.nnz == np.count_nonzero(m.val)
+
+    def test_prune_empty_trailing_rows(self):
+        m = CSRMatrix(
+            (3, 3), np.array([0, 1, 1, 1]), np.array([0]), np.array([0.0])
+        )
+        p = m.prune()
+        assert p.nnz == 0
+        assert p.indptr.tolist() == [0, 0, 0, 0]
+
+    def test_scale_rows(self):
+        m = random_csr(10, 10, 0.3, seed=6)
+        s = np.arange(1.0, 11.0)
+        scaled = m.scale_rows(s)
+        assert np.allclose(scaled.to_dense(), np.diag(s) @ m.to_dense())
+
+    def test_scale_rows_shape_check(self):
+        with pytest.raises(ValueError):
+            random_csr(5, 5, 0.5, seed=0).scale_rows(np.ones(4))
+
+    def test_memory_bytes_formula(self):
+        m = random_csr(10, 10, 0.3, seed=7)
+        assert m.memory_bytes() == (11 + m.nnz) * 4 + m.nnz * 8
+
+
+class TestCSRComparisons:
+    def test_allclose_ignores_explicit_zeros(self):
+        a = CSRMatrix((1, 2), np.array([0, 2]), np.array([0, 1]), np.array([1.0, 0.0]))
+        b = CSRMatrix((1, 2), np.array([0, 1]), np.array([0]), np.array([1.0]))
+        assert a.allclose(b)
+        assert not a.pattern_equal(b)
+
+    def test_allclose_detects_value_differences(self):
+        a = random_csr(10, 10, 0.3, seed=8)
+        b = CSRMatrix(a.shape, a.indptr, a.indices, a.val * 1.001)
+        assert not a.allclose(b)
+
+    def test_allclose_shape_mismatch(self):
+        assert not random_csr(3, 3, 0.5, seed=0).allclose(random_csr(4, 4, 0.5, seed=0))
+
+    @settings(max_examples=30, deadline=None)
+    @given(dense_strategy())
+    def test_dense_roundtrip(self, rows):
+        dense = np.array(rows)
+        m = CSRMatrix.from_dense(dense)
+        assert np.array_equal(m.to_dense(), dense)
+        back = m.to_coo().to_csr()
+        assert back.allclose(m)
+
+    def test_to_scipy_roundtrip(self):
+        m = random_csr(17, 23, 0.2, seed=9)
+        assert CSRMatrix.from_scipy(m.to_scipy()).allclose(m)

@@ -1,0 +1,134 @@
+"""Tests for the CSB formats and the MatrixMarket reader/writer."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.formats.coo import COOMatrix
+from repro.formats.csb import CSBMatrix, default_block_size
+from repro.formats.mtx import read_mtx, write_mtx
+from tests.conftest import random_csr
+
+
+class TestCSB:
+    @pytest.mark.parametrize("variant", ["M", "I"])
+    @pytest.mark.parametrize("beta", [16, 64, 256])
+    def test_roundtrip(self, variant, beta):
+        m = random_csr(100, 80, 0.08, seed=21).to_coo()
+        csb = CSBMatrix(m, beta=beta, variant=variant)
+        assert np.allclose(csb.to_dense(), m.to_dense())
+
+    def test_default_block_size_power_of_two(self):
+        for shape in [(100, 100), (5000, 100), (1, 1), (10**6, 10**6)]:
+            beta = default_block_size(shape)
+            assert beta & (beta - 1) == 0
+            assert 16 <= beta <= 1 << 16
+
+    def test_invalid_variant(self):
+        with pytest.raises(ValueError):
+            CSBMatrix(COOMatrix.empty((4, 4)), variant="X")
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            CSBMatrix(COOMatrix.empty((4, 4)), beta=24)
+
+    def test_variant_i_smaller_on_hypersparse(self):
+        # Very sparse matrix: the dense block-pointer grid of CSB-M costs
+        # more than CSB-I's indexed non-empty block list.
+        m = random_csr(2048, 2048, 0.0005, seed=22).to_coo()
+        csb_m = CSBMatrix(m, beta=16, variant="M")
+        csb_i = CSBMatrix(m, beta=16, variant="I")
+        assert csb_i.memory_bytes() < csb_m.memory_bytes()
+
+    def test_variant_m_smaller_when_blocks_full(self):
+        dense = COOMatrix.from_dense(np.ones((64, 64)))
+        csb_m = CSBMatrix(dense, beta=16, variant="M")
+        csb_i = CSBMatrix(dense, beta=16, variant="I")
+        assert csb_m.memory_bytes() <= csb_i.memory_bytes()
+
+    def test_local_index_width_grows_with_beta(self):
+        m = random_csr(3000, 3000, 0.002, seed=23).to_coo()
+        small = CSBMatrix(m, beta=16)
+        large = CSBMatrix(m, beta=1024)
+        assert small.local.dtype.itemsize < large.local.dtype.itemsize
+
+    def test_num_nonempty_blocks_consistent_between_variants(self):
+        m = random_csr(500, 500, 0.01, seed=24).to_coo()
+        assert (
+            CSBMatrix(m, beta=32, variant="M").num_nonempty_blocks
+            == CSBMatrix(m, beta=32, variant="I").num_nonempty_blocks
+        )
+
+    def test_duplicates_summed(self):
+        m = COOMatrix(
+            (20, 20), np.array([3, 3]), np.array([4, 4]), np.array([1.0, 2.0])
+        )
+        csb = CSBMatrix(m, beta=16)
+        assert csb.nnz == 1
+        assert csb.to_dense()[3, 4] == 3.0
+
+
+class TestMTX:
+    def test_roundtrip(self):
+        m = random_csr(30, 40, 0.1, seed=25)
+        buf = io.StringIO()
+        write_mtx(buf, m, comment="test matrix")
+        buf.seek(0)
+        back = read_mtx(buf).to_csr()
+        assert back.allclose(m)
+
+    def test_pattern_matrix(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n"
+        m = read_mtx(io.StringIO(text))
+        assert np.array_equal(m.to_dense(), np.eye(2))
+
+    def test_symmetric_expansion(self):
+        text = "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 5\n2 1 3\n"
+        dense = read_mtx(io.StringIO(text)).to_dense()
+        assert np.array_equal(dense, np.array([[5.0, 3.0], [3.0, 0.0]]))
+
+    def test_skew_symmetric_expansion(self):
+        text = "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 3\n"
+        dense = read_mtx(io.StringIO(text)).to_dense()
+        assert np.array_equal(dense, np.array([[0.0, -3.0], [3.0, 0.0]]))
+
+    def test_comments_skipped(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n%another\n\n"
+            "2 3 1\n1 3 9.5\n"
+        )
+        m = read_mtx(io.StringIO(text))
+        assert m.shape == (2, 3)
+        assert m.to_dense()[0, 2] == 9.5
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            read_mtx(io.StringIO("1 1 0\n"))
+
+    def test_unsupported_field_rejected(self):
+        text = "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n"
+        with pytest.raises(ValueError, match="field"):
+            read_mtx(io.StringIO(text))
+
+    def test_unsupported_format_rejected(self):
+        text = "%%MatrixMarket matrix array real general\n1 1\n1.0\n"
+        with pytest.raises(ValueError):
+            read_mtx(io.StringIO(text))
+
+    def test_entry_count_mismatch_rejected(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
+        with pytest.raises(ValueError, match="entries"):
+            read_mtx(io.StringIO(text))
+
+    def test_file_path_roundtrip(self, tmp_path):
+        m = random_csr(12, 12, 0.3, seed=26)
+        path = tmp_path / "m.mtx"
+        write_mtx(path, m)
+        assert read_mtx(path).to_csr().allclose(m)
+
+    def test_empty_matrix(self):
+        text = "%%MatrixMarket matrix coordinate real general\n5 5 0\n"
+        m = read_mtx(io.StringIO(text))
+        assert m.nnz == 0 and m.shape == (5, 5)

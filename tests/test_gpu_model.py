@@ -1,0 +1,155 @@
+"""Tests for the GPU execution model: devices, scheduler, cost model."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import get_algorithm
+from repro.gpu import (
+    RTX3060,
+    RTX3090,
+    DeviceModel,
+    estimate_run,
+    greedy_makespan,
+    imbalance_factor,
+    memory_curve,
+)
+from tests.conftest import random_csr
+
+
+class TestDevices:
+    def test_table1_specs(self):
+        assert RTX3060.cuda_cores == 3584
+        assert RTX3090.cuda_cores == 10496
+        assert RTX3060.dram_bw_gbs == 360.0
+        assert RTX3090.dram_bw_gbs == 936.2
+        assert RTX3090.dram_gb == 24.0
+
+    def test_derived_quantities(self):
+        assert RTX3090.warp_slots == 82 * 32
+        assert RTX3090.issue_slots == 82 * 4
+        assert RTX3090.flop_rate > RTX3060.flop_rate
+
+    def test_malloc_model_monotone(self):
+        d = RTX3090
+        assert d.malloc_seconds(1e6) < d.malloc_seconds(1e8)
+        assert d.malloc_seconds(1e6, 1) < d.malloc_seconds(1e6, 10)
+
+    def test_scaled_memory(self):
+        small = RTX3090.scaled_memory(0.001)
+        assert small.dram_gb == pytest.approx(0.024)
+        assert small.dram_bw_gbs == RTX3090.dram_bw_gbs  # only capacity scales
+
+
+class TestScheduler:
+    def test_empty(self):
+        assert greedy_makespan(np.array([]), 8) == 0.0
+
+    def test_fewer_tasks_than_workers(self):
+        assert greedy_makespan(np.array([3.0, 7.0]), 8) == 7.0
+
+    def test_perfect_balance(self):
+        ms = greedy_makespan(np.full(100, 2.0), 10)
+        assert ms == pytest.approx(20.0)
+
+    def test_single_giant_task_dominates(self):
+        d = np.concatenate([[1000.0], np.ones(50)])
+        assert greedy_makespan(d, 10) >= 1000.0
+
+    def test_greedy_exact_small_case(self):
+        # tasks [4,3,3] on 2 workers in order: w1=4, w2=3+3=6.
+        assert greedy_makespan(np.array([4.0, 3.0, 3.0]), 2) == 6.0
+
+    def test_analytic_fallback_close_to_exact(self):
+        rng = np.random.default_rng(0)
+        d = rng.uniform(1, 5, size=5000)
+        exact = greedy_makespan(d, 64)
+        approx = greedy_makespan(d, 64, exact_limit=10)
+        assert approx <= exact <= approx + d.max()
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_makespan(np.array([-1.0]), 4)
+
+    def test_imbalance_factor(self):
+        assert imbalance_factor(np.full(64, 1.0), 8) == pytest.approx(1.0)
+        skewed = np.concatenate([[640.0], np.ones(63)])
+        assert imbalance_factor(skewed, 8) > 5.0
+
+
+class TestCostModel:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        a = random_csr(200, 200, 0.06, seed=101)
+        methods = ["tilespgemm", "cusparse_spa", "bhsparse_esc", "nsparse_hash", "speck", "tsparse"]
+        return {m: get_algorithm(m)(a, a) for m in methods}
+
+    def test_all_methods_estimable(self, runs):
+        for method, res in runs.items():
+            est = estimate_run(res, RTX3090)
+            assert est.seconds > 0, method
+            assert est.gflops > 0, method
+            assert est.flops == res.flops
+
+    def test_faster_device_is_faster(self, runs):
+        for method, res in runs.items():
+            fast = estimate_run(res, RTX3090).seconds
+            slow = estimate_run(res, RTX3060).seconds
+            assert fast < slow, method
+
+    def test_breakdown_sums_to_total(self, runs):
+        for res in runs.values():
+            est = estimate_run(res, RTX3090)
+            assert sum(est.breakdown().values()) == pytest.approx(est.seconds)
+
+    def test_tilespgemm_kernels_named_steps(self, runs):
+        est = estimate_run(runs["tilespgemm"], RTX3090)
+        assert [k.name for k in est.kernels] == ["step1", "step2", "step3"]
+
+    def test_kernel_bound_labels(self, runs):
+        est = estimate_run(runs["tilespgemm"], RTX3090)
+        assert all(k.bound in ("compute", "memory") for k in est.kernels)
+
+    def test_unknown_method_rejected(self, runs):
+        from dataclasses import replace
+
+        res = runs["speck"]
+        res2 = type(res)(c=res.c, method="mystery", timer=res.timer, alloc=res.alloc, stats=res.stats)
+        with pytest.raises(KeyError):
+            estimate_run(res2, RTX3090)
+
+    def test_oom_detection(self, runs):
+        tiny = RTX3090.scaled_memory(1e-9)
+        est = estimate_run(runs["bhsparse_esc"], tiny)
+        assert est.oom
+        assert est.gflops == 0.0
+        assert est.seconds == float("inf")
+
+    def test_esc_oom_before_tilespgemm(self, runs):
+        """Shrink memory until ESC fails; TileSpGEMM must still fit (the
+        paper's TSOPF/gupta3 scenario)."""
+        esc_peak = runs["bhsparse_esc"].alloc.peak_bytes
+        tile_peak = runs["tilespgemm"].alloc.peak_bytes
+        capacity = (esc_peak + tile_peak) / 2 / 1e9  # between the two peaks
+        dev = DeviceModel(
+            name="tiny", num_sms=82, cuda_cores=10496, clock_ghz=1.7,
+            dram_bw_gbs=936.2, dram_gb=capacity, shared_mem_kb_per_sm=100,
+        )
+        assert estimate_run(runs["bhsparse_esc"], dev).oom
+        assert not estimate_run(runs["tilespgemm"], dev).oom
+
+
+class TestMemoryCurve:
+    def test_curve_matches_ledger(self):
+        a = random_csr(150, 150, 0.08, seed=102)
+        res = get_algorithm("bhsparse_esc")(a, a)
+        curve = memory_curve(res, RTX3090)
+        assert curve.peak_bytes == res.alloc.peak_bytes
+        assert max(b for _, b in curve.points) == curve.peak_bytes
+        assert curve.total_seconds > 0
+        assert curve.points[-1][0] == pytest.approx(curve.total_seconds)
+
+    def test_peak_mb_units(self):
+        a = random_csr(100, 100, 0.1, seed=103)
+        res = get_algorithm("speck")(a, a)
+        curve = memory_curve(res, RTX3090)
+        assert curve.peak_mb == pytest.approx(curve.peak_bytes / 1e6)

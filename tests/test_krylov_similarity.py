@@ -1,0 +1,147 @@
+"""Tests for the Krylov solvers and SpGEMM-based similarity graphs."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    AMGSolver,
+    amg_preconditioned_cg,
+    conjugate_gradient,
+    cooccurrence,
+    cosine_similarity,
+    top_k_neighbors,
+)
+from repro.core.spmv import csr_spmv
+from repro.formats.csr import CSRMatrix
+from repro.matrices import generators
+
+
+@pytest.fixture(scope="module")
+def poisson():
+    a = generators.stencil_2d(22, 22).to_csr()
+    rng = np.random.default_rng(31)
+    x_true = rng.normal(size=a.shape[0])
+    return a, csr_spmv(a, x_true), x_true
+
+
+class TestConjugateGradient:
+    def test_solves_spd_system(self, poisson):
+        a, b, x_true = poisson
+        res = conjugate_gradient(a, b, tol=1e-10, max_iters=2000)
+        assert res.converged
+        assert np.linalg.norm(res.x - x_true) / np.linalg.norm(x_true) < 1e-7
+
+    def test_residual_history_tracked(self, poisson):
+        a, b, _ = poisson
+        res = conjugate_gradient(a, b, tol=1e-8, max_iters=1000)
+        assert res.residual_history[0] == pytest.approx(1.0)
+        assert res.final_relative_residual < 1e-8
+
+    def test_zero_rhs(self, poisson):
+        a, _, _ = poisson
+        res = conjugate_gradient(a, np.zeros(a.shape[0]))
+        assert res.converged and res.iterations == 0
+
+    def test_exact_initial_guess(self, poisson):
+        a, b, x_true = poisson
+        res = conjugate_gradient(a, b, x0=x_true, tol=1e-8)
+        assert res.converged
+        assert res.iterations == 0
+
+    def test_non_spd_breaks_down_honestly(self):
+        a = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 0.0]]))  # indefinite
+        res = conjugate_gradient(a, np.array([1.0, -1.0]), max_iters=50)
+        assert not res.converged
+
+    def test_rectangular_rejected(self):
+        from tests.conftest import random_csr
+
+        with pytest.raises(ValueError):
+            conjugate_gradient(random_csr(4, 5, 0.5, seed=0), np.ones(4))
+
+    def test_rhs_length_checked(self, poisson):
+        a, _, _ = poisson
+        with pytest.raises(ValueError):
+            conjugate_gradient(a, np.ones(3))
+
+
+class TestAMGPreconditionedCG:
+    def test_fewer_iterations_than_plain(self, poisson):
+        a, b, _ = poisson
+        plain = conjugate_gradient(a, b, tol=1e-10, max_iters=2000)
+        pcg = amg_preconditioned_cg(a, b, tol=1e-10, max_iters=200)
+        assert pcg.converged
+        assert pcg.iterations < plain.iterations / 2
+
+    def test_reuses_prebuilt_solver(self, poisson):
+        a, b, x_true = poisson
+        solver = AMGSolver(a)
+        res1 = amg_preconditioned_cg(a, b, solver=solver)
+        res2 = amg_preconditioned_cg(a, 2.0 * b, solver=solver)
+        assert res1.converged and res2.converged
+        assert np.allclose(res2.x, 2.0 * res1.x, atol=1e-5)
+
+
+class TestSimilarity:
+    @pytest.fixture(scope="class")
+    def incidence(self):
+        rng = np.random.default_rng(32)
+        return CSRMatrix.from_dense(
+            (rng.random((25, 40)) < 0.25).astype(float)
+        )
+
+    def test_cooccurrence_counts_shared_features(self, incidence):
+        counts = cooccurrence(incidence).to_dense()
+        d = incidence.to_dense()
+        assert np.allclose(counts, d @ d.T)
+
+    def test_cosine_matches_dense(self, incidence):
+        s = cosine_similarity(incidence).to_dense()
+        d = incidence.to_dense()
+        norm = d / np.maximum(np.linalg.norm(d, axis=1, keepdims=True), 1e-300)
+        ref = norm @ norm.T
+        np.fill_diagonal(ref, 0.0)
+        assert np.allclose(s, ref, atol=1e-12)
+
+    def test_values_bounded(self, incidence):
+        s = cosine_similarity(incidence)
+        if s.nnz:
+            assert s.val.max() <= 1.0 + 1e-12
+            assert s.val.min() >= -1.0 - 1e-12
+
+    def test_duplicate_rows_have_similarity_one(self):
+        d = np.zeros((4, 6))
+        d[0, [1, 3]] = 1.0
+        d[2, [1, 3]] = 1.0
+        s = cosine_similarity(CSRMatrix.from_dense(d)).to_dense()
+        assert s[0, 2] == pytest.approx(1.0)
+
+    def test_keep_self_option(self, incidence):
+        s = cosine_similarity(incidence, drop_self=False).to_dense()
+        assert np.allclose(np.diag(s), 1.0)
+
+    def test_empty_rows_handled(self):
+        d = np.zeros((3, 5))
+        d[0, 2] = 1.0
+        s = cosine_similarity(CSRMatrix.from_dense(d))
+        assert s.nnz == 0  # single populated row has no neighbours
+
+    def test_top_k_limits_degree(self, incidence):
+        s = cosine_similarity(incidence)
+        knn = top_k_neighbors(s, 4)
+        assert knn.row_lengths().max() <= 4
+        # Kept entries are each row's strongest.
+        for i in range(s.nrows):
+            cols_all, vals_all = s.row(i)
+            cols_k, vals_k = knn.row(i)
+            if cols_all.size > 4:
+                threshold = np.sort(vals_all)[-4]
+                assert vals_k.min() >= threshold - 1e-12
+
+    def test_top_k_zero(self, incidence):
+        s = cosine_similarity(incidence)
+        assert top_k_neighbors(s, 0).nnz == 0
+
+    def test_top_k_negative_rejected(self, incidence):
+        with pytest.raises(ValueError):
+            top_k_neighbors(cosine_similarity(incidence), -1)

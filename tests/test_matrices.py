@@ -1,0 +1,205 @@
+"""Tests for the synthetic generators and the named matrix suites."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import (
+    asymmetric_6,
+    full_dataset,
+    generators as gen,
+    get_matrix,
+    matrix_stats,
+    representative_18,
+    tsparse_16,
+)
+
+
+class TestGenerators:
+    def test_banded_structure(self):
+        m = gen.banded(100, 3, fill=1.0, seed=1).to_csr()
+        rows = m.row_indices_expanded()
+        assert np.all(np.abs(m.indices - rows) <= 3)
+        assert m.nnz == 7 * 100 - 2 * (1 + 2 + 3)
+
+    def test_banded_fill_reduces_nnz(self):
+        full = gen.banded(200, 5, fill=1.0, seed=2).nnz
+        half = gen.banded(200, 5, fill=0.5, seed=2).nnz
+        assert 0.35 * full < half < 0.65 * full
+
+    def test_banded_negative_bandwidth(self):
+        with pytest.raises(ValueError):
+            gen.banded(10, -1)
+
+    def test_stencil_2d_row_degrees(self):
+        m = gen.stencil_2d(10, 8).to_csr()
+        lens = m.row_lengths()
+        assert lens.max() == 5  # interior
+        assert lens.min() == 3  # corners
+        assert m.shape == (80, 80)
+
+    def test_stencil_3d_row_degrees(self):
+        m = gen.stencil_3d(5, 5, 5).to_csr()
+        assert m.row_lengths().max() == 7
+        assert m.shape == (125, 125)
+
+    def test_stencil_symmetric(self):
+        m = gen.stencil_2d(9, 7).to_csr()
+        assert np.allclose(m.to_dense(), m.to_dense().T)
+
+    def test_random_uniform_density(self):
+        m = gen.random_uniform(500, 8.0, seed=3)
+        assert 6.0 < m.nnz / 500 <= 8.0  # duplicates shave a little
+
+    def test_powerlaw_tail(self):
+        m = gen.powerlaw(3000, 4.0, exponent=1.9, max_degree=800, seed=4).to_csr()
+        lens = m.row_lengths()
+        assert lens.max() > 50 * np.median(lens[lens > 0])
+
+    def test_powerlaw_hubs_planted(self):
+        m = gen.powerlaw(2000, 3.0, max_degree=900, hubs=3, seed=5).to_csr()
+        assert (m.row_lengths() > 400).sum() >= 3
+
+    def test_rmat_shape(self):
+        m = gen.rmat(8, edge_factor=4, seed=6)
+        assert m.shape == (256, 256)
+        assert m.nnz <= 1024
+
+    def test_rmat_skew(self):
+        m = gen.rmat(10, edge_factor=8, seed=7).to_csr()
+        lens = np.sort(m.row_lengths())[::-1]
+        # R-MAT concentrates edges: top 10% of rows hold >25% of edges.
+        assert lens[: len(lens) // 10].sum() > 0.25 * m.nnz
+
+    def test_block_dense_blocks_are_dense(self):
+        m = gen.block_dense(64, 16, blocks_per_row=1, seed=8).to_csr()
+        dense = m.to_dense()
+        # Diagonal blocks always present and fully dense.
+        for b in range(4):
+            blk = dense[b * 16 : (b + 1) * 16, b * 16 : (b + 1) * 16]
+            assert np.all(blk != 0)
+
+    def test_block_band_diag_only(self):
+        m = gen.block_band(64, 32, 0, seed=9).to_csr()
+        dense = m.to_dense()
+        assert np.all(dense[:32, 32:] == 0)
+        assert np.all(dense[:32, :32] != 0)
+
+    def test_hypersparse_spread(self):
+        from repro.core.tile_matrix import TileMatrix
+
+        m = gen.hypersparse(4000, 2.0, seed=10).to_csr()
+        t = TileMatrix.from_csr(m)
+        assert t.nnz / t.num_tiles < 2.0  # ~1 nonzero per tile
+
+    def test_grouped_scatter_groups_share_columns(self):
+        m = gen.grouped_scatter(40, 5, group=4, seed=11).to_csr()
+        c0, _ = m.row(0)
+        c3, _ = m.row(3)
+        assert np.array_equal(c0, c3)
+
+    def test_clustered_columns_window(self):
+        m = gen.clustered_columns(200, 10, 25, seed=12).to_csr()
+        rows = m.row_indices_expanded()
+        centers = (rows // 25) * 25
+        offset = (m.indices - centers) % 200
+        assert offset.max() < 25
+
+    def test_permutation_preserves_spgemm_stats(self):
+        base = gen.banded(300, 4, seed=13)
+        perm = gen.permute_symmetric(base, seed=14)
+        s1 = matrix_stats(base.to_csr())
+        s2 = matrix_stats(perm.to_csr())
+        assert s1.nnz == s2.nnz
+        assert s1.flops == s2.flops
+        assert s1.nnz_c == s2.nnz_c
+
+    def test_permutation_destroys_tile_locality(self):
+        from repro.core.tile_matrix import TileMatrix
+
+        base = gen.banded(1000, 4, seed=15)
+        perm = gen.permute_symmetric(base, seed=16)
+        t_base = TileMatrix.from_coo(base)
+        t_perm = TileMatrix.from_coo(perm)
+        assert t_perm.num_tiles > 3 * t_base.num_tiles
+
+    def test_permute_requires_square(self):
+        from repro.formats.coo import COOMatrix
+
+        with pytest.raises(ValueError):
+            gen.permute_symmetric(COOMatrix.empty((3, 4)))
+
+    def test_determinism(self):
+        a = gen.powerlaw(500, 4.0, seed=42).to_csr()
+        b = gen.powerlaw(500, 4.0, seed=42).to_csr()
+        assert a.allclose(b)
+        c = gen.powerlaw(500, 4.0, seed=43).to_csr()
+        assert not a.allclose(c)
+
+
+class TestSuites:
+    def test_representative_18_complete(self):
+        suite = representative_18()
+        assert len(suite) == 18
+        assert [s.name for s in suite][:3] == ["pdb1HYS", "consph", "cant"]
+        assert all(s.paper is not None for s in suite)
+
+    def test_names_unique(self):
+        names = [s.name for s in representative_18()]
+        assert len(set(names)) == 18
+
+    def test_asymmetric_subset(self):
+        sub = asymmetric_6()
+        assert [s.name for s in sub] == [
+            "rma10",
+            "conf5_4-8x8-05",
+            "mac_econ_fwd500",
+            "mc2depi",
+            "scircuit",
+            "webbase-1M",
+        ]
+        assert all(s.asymmetric for s in sub)
+
+    def test_tsparse_16_complete(self):
+        suite = tsparse_16()
+        assert len(suite) == 16
+        assert suite[0].name == "mc2depi"
+
+    def test_full_dataset_reasonable(self):
+        ds = full_dataset()
+        assert len(ds) >= 40
+        names = [s.name for s in ds]
+        assert len(set(names)) == len(names)
+        categories = {s.category for s in ds}
+        assert categories >= {"fem", "powerlaw", "random", "stencil", "block", "clustered", "hypersparse"}
+
+    def test_full_dataset_truncation(self):
+        assert len(full_dataset(max_matrices=5)) == 5
+
+    def test_get_matrix(self):
+        m = get_matrix("mc2depi")
+        assert m.shape == (12000, 12000)
+        with pytest.raises(KeyError):
+            get_matrix("not_a_matrix")
+
+    def test_matrices_cached(self):
+        assert get_matrix("cant") is get_matrix("cant")
+
+    @pytest.mark.parametrize(
+        "name", ["pdb1HYS", "cant", "conf5_4-8x8-05", "cop20k_A", "SiO2", "gupta3"]
+    )
+    def test_compression_rate_near_paper(self, name):
+        """Analogues land within 2x of the paper's compression rate —
+        loose on purpose; EXPERIMENTS.md records exact measured values."""
+        spec = next(s for s in representative_18() if s.name == name)
+        st = matrix_stats(spec.matrix())
+        target = spec.paper.compression_rate
+        assert target / 2 <= st.compression_rate <= target * 2
+
+    def test_stats_definition(self):
+        from repro.formats.csr import CSRMatrix
+
+        i = CSRMatrix.identity(10)
+        st = matrix_stats(i)
+        assert st.flops == 20  # 10 products x 2
+        assert st.nnz_c == 10
+        assert st.compression_rate == pytest.approx(1.0)

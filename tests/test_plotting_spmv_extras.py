@@ -1,0 +1,83 @@
+"""Tests for the ASCII scatter renderer and the fp16 numeric mode."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_scatter
+from repro.core import TileMatrix, tile_spgemm
+from repro.formats.csr import CSRMatrix
+from tests.conftest import random_csr
+
+
+class TestAsciiScatter:
+    def test_basic_render(self):
+        out = ascii_scatter([1, 10, 100], [1.0, 2.0, 3.0], title="T", xlabel="xx", ylabel="yy")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert any("o" in l for l in lines)
+        assert "xx" in lines[-1]
+        assert any("yy" in l for l in lines)
+
+    def test_empty_points(self):
+        assert "(no points)" in ascii_scatter([], [])
+
+    def test_nonpositive_x_dropped_with_logx(self):
+        out = ascii_scatter([-1, 0, 10], [1, 2, 3])
+        assert out.count("o") == 1
+
+    def test_collision_marker(self):
+        out = ascii_scatter([10, 10], [5.0, 5.0], width=10, height=5)
+        assert "#" in out
+
+    def test_linear_x(self):
+        out = ascii_scatter([0.0, 1.0], [0.0, 1.0], logx=False)
+        assert out.count("o") == 2
+
+    def test_too_small_area(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([1], [1], width=2, height=2)
+
+    def test_single_point(self):
+        out = ascii_scatter([5.0], [7.0])
+        assert "o" in out
+
+    def test_dimensions_respected(self):
+        out = ascii_scatter(np.arange(1, 50), np.arange(49.0), width=30, height=8)
+        body = [l for l in out.splitlines() if "|" in l]
+        assert len(body) == 8
+        assert all(len(l.split("|", 1)[1]) <= 30 for l in body)
+
+
+class TestHalfPrecisionMode:
+    def test_fp16_close_to_fp64(self):
+        a = random_csr(80, 80, 0.1, seed=231)
+        t = TileMatrix.from_csr(a)
+        full = tile_spgemm(t, t).c.to_dense()
+        half = tile_spgemm(t, t, value_dtype=np.float16).c.to_dense()
+        assert np.allclose(half, full, rtol=5e-3, atol=1e-3)
+
+    def test_fp16_exact_on_small_integers(self):
+        # Integer values up to 2048 are exact in fp16.
+        rng = np.random.default_rng(232)
+        d = (rng.integers(0, 4, size=(40, 40)) * (rng.random((40, 40)) < 0.2)).astype(float)
+        a = TileMatrix.from_csr(CSRMatrix.from_dense(d))
+        half = tile_spgemm(a, a, value_dtype=np.float16).c.to_dense()
+        assert np.array_equal(half, d @ d)
+
+    def test_fp16_actually_rounds(self):
+        # A value that fp16 cannot represent exactly must round.
+        d = np.zeros((4, 4))
+        d[0, 1] = 1.0009765625  # 1 + 2^-10: exactly one fp16 ulp above 1
+        d[1, 2] = 1.0009765625
+        a = TileMatrix.from_csr(CSRMatrix.from_dense(d))
+        full = tile_spgemm(a, a).c.to_dense()[0, 2]
+        half = tile_spgemm(a, a, value_dtype=np.float16).c.to_dense()[0, 2]
+        assert full != half
+        assert abs(full - half) < 1e-2
+
+    def test_fp32_mode(self):
+        a = random_csr(50, 50, 0.15, seed=233)
+        t = TileMatrix.from_csr(a)
+        f32 = tile_spgemm(t, t, value_dtype=np.float32).c.to_dense()
+        f64 = tile_spgemm(t, t).c.to_dense()
+        assert np.allclose(f32, f64, rtol=1e-4, atol=1e-6)

@@ -1,0 +1,129 @@
+"""Tests for tiled SpMV and the end-to-end AMG solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import AMGSolver, smoothed_prolongator, aggregation_prolongator
+from repro.core import TileMatrix
+from repro.core.spmv import csr_spmv, tile_spmv
+from repro.matrices import generators
+from tests.conftest import random_csr
+
+
+class TestSpMV:
+    def test_tile_matches_dense(self):
+        a = random_csr(90, 70, 0.1, seed=221)
+        x = np.random.default_rng(1).normal(size=70)
+        got = tile_spmv(TileMatrix.from_csr(a), x)
+        assert np.allclose(got, a.to_dense() @ x)
+
+    def test_csr_matches_dense(self):
+        a = random_csr(60, 80, 0.1, seed=222)
+        x = np.random.default_rng(2).normal(size=80)
+        assert np.allclose(csr_spmv(a, x), a.to_dense() @ x)
+
+    def test_tile_equals_csr(self):
+        a = random_csr(128, 128, 0.08, seed=223)
+        x = np.random.default_rng(3).normal(size=128)
+        assert np.allclose(tile_spmv(TileMatrix.from_csr(a), x), csr_spmv(a, x))
+
+    def test_empty_matrix(self):
+        from repro.formats.csr import CSRMatrix
+
+        a = CSRMatrix.empty((10, 12))
+        assert np.allclose(tile_spmv(TileMatrix.from_csr(a), np.ones(12)), 0.0)
+
+    def test_length_mismatch(self):
+        a = TileMatrix.from_csr(random_csr(10, 12, 0.5, seed=224))
+        with pytest.raises(ValueError):
+            tile_spmv(a, np.ones(10))
+        with pytest.raises(ValueError):
+            csr_spmv(random_csr(10, 12, 0.5, seed=224), np.ones(10))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 50), st.integers(0, 5))
+    def test_property_matches_dense(self, n, seed):
+        rng = np.random.default_rng(seed * 100 + n)
+        dense = rng.random((n, n)) * (rng.random((n, n)) < 0.25)
+        from repro.formats.csr import CSRMatrix
+
+        a = CSRMatrix.from_dense(dense)
+        x = rng.normal(size=n)
+        assert np.allclose(tile_spmv(TileMatrix.from_csr(a), x), dense @ x)
+
+
+class TestSmoothedAggregation:
+    def test_smoothed_prolongator_shape(self):
+        a = generators.stencil_2d(10, 10).to_csr()
+        tent = aggregation_prolongator(a, seed=1)
+        p = smoothed_prolongator(a, tent)
+        assert p.shape == tent.shape
+        assert p.nnz >= tent.nnz  # smoothing widens the support
+
+    def test_smoothed_prolongator_matches_dense_formula(self):
+        a = generators.stencil_2d(8, 8).to_csr()
+        tent = aggregation_prolongator(a, seed=2)
+        p = smoothed_prolongator(a, tent, omega=0.5)
+        d = np.diag(a.to_dense())
+        expected = (np.eye(a.shape[0]) - 0.5 * np.diag(1.0 / d) @ a.to_dense()) @ tent.to_dense()
+        assert np.allclose(p.to_dense(), expected, atol=1e-12)
+
+    def test_zero_diagonal_rejected(self):
+        from repro.formats.csr import CSRMatrix
+
+        a = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(ValueError, match="diagonal"):
+            smoothed_prolongator(a, aggregation_prolongator(a))
+
+
+class TestAMGSolver:
+    @pytest.fixture(scope="class")
+    def poisson(self):
+        a = generators.stencil_2d(24, 24).to_csr()
+        rng = np.random.default_rng(7)
+        x_true = rng.normal(size=a.shape[0])
+        b = csr_spmv(a, x_true)
+        return a, b, x_true
+
+    def test_solves_poisson(self, poisson):
+        a, b, x_true = poisson
+        res = AMGSolver(a).solve(b, tol=1e-8, max_cycles=60)
+        assert res.converged
+        assert np.linalg.norm(res.x - x_true) / np.linalg.norm(x_true) < 1e-6
+
+    def test_residual_monotone_decreasing(self, poisson):
+        a, b, _ = poisson
+        res = AMGSolver(a).solve(b, tol=1e-10, max_cycles=30)
+        h = res.residual_history
+        assert all(h[i + 1] < h[i] for i in range(len(h) - 1))
+
+    def test_smoothed_beats_plain_aggregation(self, poisson):
+        a, b, _ = poisson
+        plain = AMGSolver(a, smoothed_aggregation=False).solve(b, tol=1e-8, max_cycles=25)
+        smooth = AMGSolver(a, smoothed_aggregation=True).solve(b, tol=1e-8, max_cycles=25)
+        assert smooth.convergence_factor() < plain.convergence_factor()
+
+    def test_zero_rhs(self, poisson):
+        a, _, _ = poisson
+        res = AMGSolver(a).solve(np.zeros(a.shape[0]))
+        assert res.converged
+        assert np.allclose(res.x, 0.0)
+
+    def test_initial_guess_respected(self, poisson):
+        a, b, x_true = poisson
+        res = AMGSolver(a).solve(b, x0=x_true.copy(), tol=1e-8, max_cycles=5)
+        assert res.converged
+        assert res.iterations <= 2
+
+    def test_rhs_length_checked(self, poisson):
+        a, _, _ = poisson
+        with pytest.raises(ValueError):
+            AMGSolver(a).solve(np.ones(3))
+
+    def test_solver_with_other_spgemm_method(self, poisson):
+        a, b, x_true = poisson
+        res = AMGSolver(a, spgemm_method="speck").solve(b, tol=1e-8, max_cycles=60)
+        assert res.converged
+        assert np.linalg.norm(res.x - x_true) / np.linalg.norm(x_true) < 1e-6

@@ -1,0 +1,130 @@
+"""Tests for SpTRSV, the Gauss-Seidel smoother, and algebraic BFS."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps import AMGSolver, bfs_levels
+from repro.core import level_schedule, sptrsv
+from repro.core.spmv import csr_spmv
+from repro.formats.csr import CSRMatrix
+from repro.matrices import generators
+from tests.conftest import random_csr
+
+
+def random_lower(n, density, seed, unit=False):
+    rng = np.random.default_rng(seed)
+    dense = np.tril(rng.random((n, n)) * (rng.random((n, n)) < density), k=-1)
+    np.fill_diagonal(dense, 1.0 if unit else rng.uniform(1.0, 2.0, n))
+    return CSRMatrix.from_dense(dense), dense
+
+
+class TestLevelSchedule:
+    def test_diagonal_matrix_single_level(self):
+        l = CSRMatrix.from_dense(np.diag(np.arange(1.0, 6.0)))
+        levels, stats = level_schedule(l)
+        assert stats.num_levels == 1
+        assert levels[0].size == 5
+
+    def test_bidiagonal_fully_sequential(self):
+        n = 6
+        dense = np.eye(n) + np.eye(n, k=-1)
+        levels, stats = level_schedule(CSRMatrix.from_dense(dense))
+        assert stats.num_levels == n
+        assert stats.max_parallelism == 1
+
+    def test_levels_partition_unknowns(self):
+        l, _ = random_lower(60, 0.2, seed=321)
+        levels, stats = level_schedule(l)
+        seen = np.sort(np.concatenate(levels))
+        assert np.array_equal(seen, np.arange(60))
+        assert stats.level_sizes.sum() == 60
+
+    def test_levels_respect_dependencies(self):
+        l, _ = random_lower(50, 0.25, seed=322)
+        levels, _ = level_schedule(l)
+        rank = np.empty(50, dtype=int)
+        for k, lv in enumerate(levels):
+            rank[lv] = k
+        rows = l.row_indices_expanded()
+        off = l.indices < rows
+        assert np.all(rank[l.indices[off]] < rank[rows[off]])
+
+    def test_upper_entries_rejected(self):
+        with pytest.raises(ValueError, match="above the diagonal"):
+            level_schedule(CSRMatrix.from_dense(np.array([[1.0, 2.0], [0.0, 1.0]])))
+
+
+class TestSpTRSV:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_solves_system(self, seed):
+        l, dense = random_lower(80, 0.3, seed=seed)
+        b = np.random.default_rng(seed).normal(size=80)
+        x = sptrsv(l, b)
+        assert np.allclose(dense @ x, b, atol=1e-9)
+
+    def test_unit_diagonal_mode(self):
+        l, dense = random_lower(40, 0.2, seed=4, unit=True)
+        b = np.random.default_rng(4).normal(size=40)
+        x = sptrsv(l, b, unit_diagonal=True)
+        assert np.allclose(dense @ x, b, atol=1e-10)
+
+    def test_zero_diagonal_rejected(self):
+        dense = np.tril(np.ones((3, 3)))
+        dense[1, 1] = 0.0
+        with pytest.raises(ValueError, match="singular"):
+            sptrsv(CSRMatrix.from_dense(dense), np.ones(3))
+
+    def test_rhs_length_checked(self):
+        l, _ = random_lower(5, 0.3, seed=5)
+        with pytest.raises(ValueError):
+            sptrsv(l, np.ones(4))
+
+    def test_matches_scipy(self):
+        import scipy.sparse.linalg as spl
+
+        l, dense = random_lower(100, 0.15, seed=6)
+        b = np.random.default_rng(6).normal(size=100)
+        ref = spl.spsolve_triangular(l.to_scipy().tocsr(), b, lower=True)
+        assert np.allclose(sptrsv(l, b), ref, atol=1e-9)
+
+
+class TestGaussSeidelSmoother:
+    def test_converges_faster_than_jacobi(self):
+        a = generators.stencil_2d(20, 20).to_csr()
+        b = csr_spmv(a, np.random.default_rng(7).normal(size=a.shape[0]))
+        jac = AMGSolver(a, smoother="jacobi").solve(b, tol=1e-9, max_cycles=50)
+        gs = AMGSolver(a, smoother="gauss_seidel").solve(b, tol=1e-9, max_cycles=50)
+        assert gs.converged
+        assert gs.convergence_factor() < jac.convergence_factor()
+
+    def test_unknown_smoother_rejected(self):
+        a = generators.stencil_2d(6, 6).to_csr()
+        with pytest.raises(ValueError, match="smoother"):
+            AMGSolver(a, smoother="sor")
+
+
+class TestBFS:
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_matches_networkx(self, seed):
+        g = nx.gnp_random_graph(90, 0.04, seed=seed)
+        adj = CSRMatrix.from_scipy(nx.to_scipy_sparse_array(g).tocsr().astype(float))
+        dist = bfs_levels(adj, 0)
+        ref = nx.single_source_shortest_path_length(g, 0)
+        for v in range(90):
+            assert dist[v] == ref.get(v, -1), v
+
+    def test_path_graph(self):
+        g = nx.path_graph(10)
+        adj = CSRMatrix.from_scipy(nx.to_scipy_sparse_array(g).tocsr().astype(float))
+        assert np.array_equal(bfs_levels(adj, 0), np.arange(10))
+
+    def test_disconnected_unreachable(self):
+        d = np.zeros((6, 6))
+        d[0, 1] = d[1, 0] = 1.0
+        dist = bfs_levels(CSRMatrix.from_dense(d), 0)
+        assert dist.tolist() == [0, 1, -1, -1, -1, -1]
+
+    def test_source_out_of_range(self):
+        with pytest.raises(ValueError):
+            bfs_levels(random_csr(5, 5, 0.5, seed=0), 9)

@@ -1,0 +1,266 @@
+"""Tests for the tiled sparse format (paper Section 3.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tile_matrix import TILE, TileMatrix, mask_dtype_for
+from repro.formats.coo import COOMatrix
+from repro.util.bits import popcount16
+from tests.conftest import random_csr
+
+
+def tiny_coo(entries, shape=(40, 40)):
+    rows = np.array([e[0] for e in entries], dtype=np.int64)
+    cols = np.array([e[1] for e in entries], dtype=np.int64)
+    vals = np.array([e[2] for e in entries], dtype=np.float64)
+    return COOMatrix(shape, rows, cols, vals)
+
+
+class TestConstruction:
+    def test_roundtrip_random(self, random_square):
+        t = TileMatrix.from_csr(random_square)
+        t.validate()
+        assert t.to_csr().allclose(random_square)
+
+    def test_empty_matrix(self):
+        t = TileMatrix.empty((50, 70))
+        t.validate()
+        assert t.num_tiles == 0
+        assert t.nnz == 0
+        assert t.num_tile_rows == 4  # ceil(50/16)
+        assert t.num_tile_cols == 5  # ceil(70/16)
+
+    def test_single_entry(self):
+        t = TileMatrix.from_coo(tiny_coo([(17, 33, 2.5)]))
+        t.validate()
+        assert t.num_tiles == 1
+        assert t.tilecolidx.tolist() == [2]
+        assert t.tile_rowidx().tolist() == [1]
+        assert t.rowidx.tolist() == [1]
+        assert t.colidx.tolist() == [1]
+        assert t.val.tolist() == [2.5]
+
+    def test_nonsquare_matrix(self):
+        m = random_csr(37, 93, 0.1, seed=31)
+        t = TileMatrix.from_csr(m)
+        t.validate()
+        assert t.to_csr().allclose(m)
+
+    def test_dimensions_not_multiple_of_tile(self):
+        m = random_csr(17, 17, 0.5, seed=32)
+        t = TileMatrix.from_csr(m)
+        t.validate()
+        assert t.num_tile_rows == 2
+        assert t.to_csr().allclose(m)
+
+    def test_duplicates_summed_on_conversion(self):
+        t = TileMatrix.from_coo(tiny_coo([(0, 0, 1.0), (0, 0, 2.0)]))
+        assert t.nnz == 1
+        assert t.val[0] == 3.0
+
+    def test_full_tile(self):
+        dense = np.ones((16, 16))
+        t = TileMatrix.from_coo(COOMatrix.from_dense(dense))
+        t.validate()
+        assert t.num_tiles == 1
+        assert t.tile_nnz_counts().tolist() == [256]
+        assert np.array_equal(t.mask[0], np.full(16, 0xFFFF, dtype=np.uint16))
+        assert np.array_equal(t.to_dense(), dense)
+
+    @pytest.mark.parametrize("tile_size", [4, 8, 16])
+    def test_tile_sizes(self, tile_size):
+        m = random_csr(50, 50, 0.1, seed=33)
+        t = TileMatrix.from_csr(m, tile_size)
+        t.validate()
+        assert t.to_csr().allclose(m)
+        assert t.mask.dtype == mask_dtype_for(tile_size)
+
+    def test_unsupported_tile_size(self):
+        with pytest.raises(ValueError):
+            TileMatrix.from_csr(random_csr(10, 10, 0.5, seed=0), 13)
+
+
+class TestInvariants:
+    def test_masks_match_indices(self, random_square):
+        t = TileMatrix.from_csr(random_square)
+        tile_of = t.tile_of_nonzero()
+        rebuilt = np.zeros_like(t.mask)
+        np.bitwise_or.at(
+            rebuilt.reshape(-1),
+            tile_of * t.tile_size + t.rowidx,
+            (np.uint16(1) << t.colidx.astype(np.uint16)),
+        )
+        assert np.array_equal(rebuilt, t.mask)
+
+    def test_rowptr_matches_mask_popcount(self, random_square):
+        t = TileMatrix.from_csr(random_square)
+        pc = popcount16(t.mask).astype(np.int64)
+        expected = np.zeros_like(pc)
+        np.cumsum(pc[:, :-1], axis=1, out=expected[:, 1:])
+        assert np.array_equal(expected, t.rowptr.astype(np.int64))
+
+    def test_tilennz_matches_mask_popcount(self, random_square):
+        t = TileMatrix.from_csr(random_square)
+        pc_sum = popcount16(t.mask).astype(np.int64).sum(axis=1)
+        assert np.array_equal(pc_sum, t.tile_nnz_counts())
+
+    def test_validate_catches_corrupted_mask(self):
+        t = TileMatrix.from_csr(random_csr(40, 40, 0.2, seed=34))
+        t.mask = t.mask.copy()
+        t.mask[0, 0] ^= 1
+        with pytest.raises(ValueError):
+            t.validate()
+
+    def test_validate_catches_corrupted_rowptr(self):
+        t = TileMatrix.from_csr(random_csr(40, 40, 0.2, seed=35))
+        t.rowptr = t.rowptr.copy()
+        t.rowptr[0, -1] += 1
+        with pytest.raises(ValueError):
+            t.validate()
+
+    def test_validate_catches_unsorted_tilecolidx(self):
+        m = random_csr(64, 64, 0.3, seed=36)
+        t = TileMatrix.from_csr(m)
+        assert t.tileptr[1] - t.tileptr[0] >= 2, "need two tiles in row 0"
+        t.tilecolidx = t.tilecolidx.copy()
+        t.tilecolidx[[0, 1]] = t.tilecolidx[[1, 0]]
+        with pytest.raises(ValueError):
+            t.validate()
+
+    def test_local_indices_fit_four_bits(self, random_square):
+        t = TileMatrix.from_csr(random_square)
+        if t.nnz:
+            assert t.rowidx.max() < 16
+            assert t.colidx.max() < 16
+
+    def test_packed_local_indices_roundtrip(self, random_square):
+        t = TileMatrix.from_csr(random_square)
+        packed = t.packed_local_indices()
+        assert packed.dtype == np.uint8
+        assert np.array_equal(packed >> 4, t.rowidx)
+        assert np.array_equal(packed & 0xF, t.colidx)
+
+
+class TestViews:
+    def test_tile_pattern_csr(self):
+        m = random_csr(100, 100, 0.05, seed=37)
+        t = TileMatrix.from_csr(m)
+        pat = m.to_scipy()
+        pat.data[:] = 1.0
+        # Tile-level pattern equals the pooled (16x16 max-pool) pattern.
+        import scipy.sparse as sp
+
+        coo = pat.tocoo()
+        tile_pat = sp.csr_matrix(
+            (np.ones(coo.nnz), (coo.row // 16, coo.col // 16)),
+            shape=(t.num_tile_rows, t.num_tile_cols),
+        )
+        tile_pat.sum_duplicates()
+        ours = t.tile_pattern_csr()
+        assert np.array_equal(ours.indptr, tile_pat.indptr)
+        assert np.array_equal(ours.indices, tile_pat.indices)
+
+    def test_tile_csc_consistent(self):
+        t = TileMatrix.from_csr(random_csr(90, 120, 0.08, seed=38))
+        csc = t.tile_csc()
+        # Every tile appears exactly once, in its own column's segment.
+        assert np.sort(csc["tile_id"]).tolist() == list(range(t.num_tiles))
+        for j in range(t.num_tile_cols):
+            lo, hi = csc["colptr"][j], csc["colptr"][j + 1]
+            ids = csc["tile_id"][lo:hi]
+            assert np.all(t.tilecolidx[ids] == j)
+            # Rows sorted within a column.
+            assert np.all(np.diff(csc["rowidx"][lo:hi]) > 0)
+
+    def test_drop_empty_tiles_noop_when_none(self):
+        t = TileMatrix.from_csr(random_csr(40, 40, 0.2, seed=39))
+        assert t.drop_empty_tiles() is t
+
+
+class TestSpace:
+    def test_memory_bytes_counts_all_arrays(self):
+        t = TileMatrix.from_csr(random_csr(64, 64, 0.2, seed=40))
+        expected = (
+            4 * (t.tileptr.size + t.num_tiles + t.num_tiles + 1)
+            + t.nnz * (1 + 8)
+            + t.num_tiles * 16 * (1 + 2)
+        )
+        assert t.memory_bytes() == expected
+
+    def test_tiled_smaller_than_csr_on_dense_tiles(self):
+        # Dense-ish FEM block structure: the paper's case where the tiled
+        # format beats CSR (packed 1-byte indices vs 4-byte columns).
+        from repro.matrices import generators
+
+        m = generators.block_band(320, 64, 0, seed=41).to_csr()
+        t = TileMatrix.from_csr(m)
+        assert t.memory_bytes() < m.memory_bytes()
+
+    def test_tiled_larger_than_csr_on_hypersparse(self):
+        # Scattered singleton tiles: per-tile overhead dominates.
+        from repro.matrices import generators
+
+        m = generators.permute_symmetric(generators.banded(2000, 1, seed=42), seed=42).to_csr()
+        t = TileMatrix.from_csr(m)
+        assert t.memory_bytes() > m.memory_bytes()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 47), st.integers(0, 47), st.floats(-10, 10).filter(lambda v: v != 0)
+        ),
+        min_size=0,
+        max_size=120,
+    )
+)
+def test_property_roundtrip_and_invariants(entries):
+    coo = tiny_coo(entries, shape=(48, 48))
+    t = TileMatrix.from_coo(coo)
+    t.validate()
+    assert np.allclose(t.to_dense(), coo.to_dense())
+    # nnz equals the number of distinct coordinates.
+    distinct = len({(r, c) for r, c, _ in entries})
+    assert t.nnz == distinct
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        t = TileMatrix.from_csr(random_csr(90, 70, 0.1, seed=271))
+        path = tmp_path / "m.npz"
+        t.save(path)
+        back = TileMatrix.load(path)
+        assert back.shape == t.shape
+        assert back.tile_size == t.tile_size
+        assert np.array_equal(back.val, t.val)
+        assert back.to_csr().allclose(t.to_csr())
+
+    def test_load_validates(self, tmp_path):
+        t = TileMatrix.from_csr(random_csr(40, 40, 0.2, seed=272))
+        path = tmp_path / "m.npz"
+        t.save(path)
+        # Corrupt the mask array inside the archive.
+        data = dict(np.load(path))
+        data["mask"] = data["mask"].copy()
+        if data["mask"].size:
+            data["mask"][0, 0] ^= 1
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError):
+            TileMatrix.load(path)
+
+    def test_empty_matrix_roundtrip(self, tmp_path):
+        t = TileMatrix.empty((30, 45))
+        path = tmp_path / "e.npz"
+        t.save(path)
+        back = TileMatrix.load(path)
+        assert back.nnz == 0
+        assert back.shape == (30, 45)
+
+    def test_small_tile_size_roundtrip(self, tmp_path):
+        t = TileMatrix.from_csr(random_csr(50, 50, 0.15, seed=273), 8)
+        path = tmp_path / "t8.npz"
+        t.save(path)
+        assert TileMatrix.load(path).tile_size == 8

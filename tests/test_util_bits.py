@@ -1,0 +1,121 @@
+"""Tests for the bit-mask utilities underlying the tiled format."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bits import (
+    POPCOUNT16,
+    columns_to_mask,
+    mask_nonzero_columns,
+    masks_to_rowptr,
+    nth_set_bit,
+    popcount16,
+    prefix_popcount,
+)
+
+
+class TestPopcount:
+    def test_table_size(self):
+        assert POPCOUNT16.shape == (1 << 16,)
+
+    def test_known_values(self):
+        assert POPCOUNT16[0] == 0
+        assert POPCOUNT16[0xFFFF] == 16
+        assert POPCOUNT16[0b1010101010101010] == 8
+        assert POPCOUNT16[1] == 1
+
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+    def test_matches_python_bit_count(self, value):
+        assert int(POPCOUNT16[value]) == bin(value).count("1")
+
+    def test_vectorised(self):
+        masks = np.array([0, 1, 3, 0xFFFF, 0x8000], dtype=np.uint16)
+        assert popcount16(masks).tolist() == [0, 1, 2, 16, 1]
+
+    def test_preserves_shape(self):
+        masks = np.arange(12, dtype=np.uint16).reshape(3, 4)
+        assert popcount16(masks).shape == (3, 4)
+
+
+class TestPrefixPopcount:
+    @given(
+        st.integers(min_value=0, max_value=(1 << 16) - 1),
+        st.integers(min_value=0, max_value=15),
+    )
+    def test_matches_manual_rank(self, mask, col):
+        expected = bin(mask & ((1 << col) - 1)).count("1")
+        assert int(prefix_popcount(np.array([mask]), np.array([col]))[0]) == expected
+
+    def test_column_zero_is_always_zero(self):
+        masks = np.arange(0, 1 << 16, 997, dtype=np.uint32)
+        ranks = prefix_popcount(masks, np.zeros_like(masks))
+        assert not ranks.any()
+
+    def test_rank_is_position_in_compacted_row(self):
+        # mask 0b0110_0101: set bits at columns 0, 2, 5, 6.
+        mask = 0b01100101
+        cols = np.array([0, 2, 5, 6])
+        ranks = prefix_popcount(np.full(4, mask), cols)
+        assert ranks.tolist() == [0, 1, 2, 3]
+
+
+class TestNthSetBit:
+    @given(st.integers(min_value=1, max_value=(1 << 16) - 1))
+    def test_enumerates_set_bits_in_order(self, mask):
+        pc = bin(mask).count("1")
+        got = nth_set_bit(np.full(pc, mask), np.arange(pc))
+        expected = [c for c in range(16) if mask & (1 << c)]
+        assert got.tolist() == expected
+
+    def test_out_of_range_rank_returns_sentinel(self):
+        assert int(nth_set_bit(np.array([0b1]), np.array([1]))[0]) == 255
+
+    def test_inverse_of_prefix_popcount(self):
+        mask = 0b1011001110001011
+        cols = np.array([c for c in range(16) if mask & (1 << c)])
+        ranks = prefix_popcount(np.full(cols.size, mask), cols)
+        back = nth_set_bit(np.full(cols.size, mask), ranks)
+        assert np.array_equal(back, cols)
+
+
+class TestMaskHelpers:
+    def test_mask_nonzero_columns(self):
+        assert mask_nonzero_columns(0).tolist() == []
+        assert mask_nonzero_columns(0b101).tolist() == [0, 2]
+        assert mask_nonzero_columns(0x8000).tolist() == [15]
+
+    def test_columns_to_mask_roundtrip(self):
+        rows = np.array([0, 0, 3, 15])
+        cols = np.array([1, 5, 0, 15])
+        masks = columns_to_mask(rows, cols)
+        assert masks[0] == (1 << 1) | (1 << 5)
+        assert masks[3] == 1
+        assert masks[15] == 1 << 15
+        assert masks[1] == 0
+
+    def test_masks_to_rowptr_simple(self):
+        masks = np.zeros((1, 16), dtype=np.uint16)
+        masks[0, 0] = 0b111  # 3 nonzeros in row 0
+        masks[0, 2] = 0b1  # 1 nonzero in row 2
+        ptr = masks_to_rowptr(masks)
+        assert ptr[0].tolist() == [0, 3, 3, 4] + [4] * 12
+
+    def test_masks_to_rowptr_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            masks_to_rowptr(np.zeros((4, 8), dtype=np.uint16))
+
+    def test_masks_to_rowptr_full_tile(self):
+        masks = np.full((1, 16), 0xFFFF, dtype=np.uint16)
+        ptr = masks_to_rowptr(masks)
+        assert ptr[0].tolist() == list(range(0, 256, 16))
+
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 16) - 1), min_size=16, max_size=16))
+    def test_rowptr_matches_cumulative_popcount(self, row_masks):
+        masks = np.array([row_masks], dtype=np.uint16)
+        if int(popcount16(masks).astype(int).sum()) > 256:
+            return  # cannot exceed one tile's capacity
+        ptr = masks_to_rowptr(masks)[0].astype(int)
+        expected = np.concatenate([[0], np.cumsum([bin(m).count("1") for m in row_masks])[:-1]])
+        assert np.array_equal(ptr, expected)

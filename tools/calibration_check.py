@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Calibration harness: per-method estimated GFlops over the 18-matrix suite.
+
+Used during development to keep the GPU cost model's *shape* aligned with
+the paper's Figure 7 (who wins where, by what factor).  Prints a table and
+the headline shape checks.
+"""
+import time
+import numpy as np
+
+from repro.matrices import representative_18
+from repro.baselines import get_algorithm
+from repro.gpu import estimate_run, RTX3090, RTX3060
+from repro.analysis import geometric_mean
+
+# Paper Figure 7 (RTX 3090, A^2), rows disentangled via the peak quotes in §4.2.
+PAPER_TILE = {
+    "pdb1HYS": 94.08, "consph": 74.59, "cant": 81.80, "pwtk": 86.29,
+    "rma10": 72.63, "conf5_4-8x8-05": 51.95, "shipsec1": 72.50,
+    "mac_econ_fwd500": 3.99, "mc2depi": 10.90, "cop20k_A": 5.19,
+    "scircuit": 5.07, "webbase-1M": 12.78, "af_shell10": 92.25,
+    "pkustk12": 69.46, "SiO2": 90.77, "case39": 158.16,
+    "TSOPF_FS_b300_c2": 203.05, "gupta3": 134.37,
+}
+
+def main():
+    methods = ["cusparse_spa", "bhsparse_esc", "nsparse_hash", "speck", "tilespgemm"]
+    per_method = {m: [] for m in methods}
+    scal = []
+    t0 = time.time()
+    tile_wins = 0
+    for spec in representative_18():
+        a = spec.matrix()
+        row = {}
+        for m in methods:
+            res = get_algorithm(m)(a, a)
+            e90 = estimate_run(res, RTX3090)
+            row[m] = e90.gflops
+            per_method[m].append(e90.gflops)
+            if m == "tilespgemm":
+                e60 = estimate_run(res, RTX3060)
+                scal.append(e90.gflops / max(e60.gflops, 1e-12))
+        best = max(row, key=row.get)
+        if best == "tilespgemm":
+            tile_wins += 1
+        print(f"{spec.name:18s} " + " ".join(f"{m.split('_')[0][:6]}={row[m]:7.2f}" for m in methods)
+              + f"  paperTile={PAPER_TILE[spec.name]:7.2f} best={best}")
+    print("\ngeomeans:", {m: round(geometric_mean(v), 2) for m, v in per_method.items()})
+    print("paper geomeans: cuSPARSE 30.8, bhSPARSE 11.5, NSPARSE 37.7, spECK 46.9, Tile 54.6")
+    print(f"tile wins {tile_wins}/18 (paper: 14/18 on these 18)")
+    print(f"tile 3090/3060 scalability geomean: {geometric_mean(scal):.2f} (paper 2.53)")
+    print(f"elapsed {time.time()-t0:.1f}s")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Consolidate ``benchmarks/results/*.txt`` into one experiment report.
+
+Run after ``pytest benchmarks/ --benchmark-only``; produces a single
+markdown document embedding every regenerated table/figure, in the
+paper's order, ready to diff against EXPERIMENTS.md's recorded run.
+
+Usage::
+
+    python tools/make_report.py [output.md]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+RESULTS = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+
+#: Paper order of the artefacts.
+ORDER = [
+    ("table1_setup", "Table 1 — platforms and algorithms"),
+    ("table2_matrices", "Table 2 — representative matrices"),
+    ("motivation_webbase", "Section 2.3 — webbase motivation"),
+    ("fig6_performance", "Figure 6 — performance vs compression rate + scalability"),
+    ("fig7_representative", "Figure 7 — A^2 on the 18 representative matrices"),
+    ("fig8_aat", "Figure 8 — A A^T on the asymmetric matrices"),
+    ("fig9_memory", "Figure 9 — peak space cost at runtime"),
+    ("fig10_breakdown", "Figure 10 — TileSpGEMM runtime breakdown"),
+    ("fig11_format_space", "Figure 11 — format space cost"),
+    ("fig12_conversion", "Figure 12 — conversion overhead"),
+    ("fig13_tsparse", "Figure 13 — TileSpGEMM vs tSparse"),
+    ("fig14_tsparse_breakdown", "Figure 14 — tSparse breakdown"),
+    ("ablation_tilesize", "Ablation — tile size"),
+    ("ablation_accumulator", "Ablation — accumulator threshold"),
+    ("ablation_intersect", "Ablation — set intersection strategy"),
+    ("ext_masked", "Extension — masked SpGEMM"),
+    ("ext_spmv", "Extension — tiled SpMV + AMG solve"),
+    ("ext_distributed", "Extension — distributed SUMMA"),
+    ("ablation_accumulators_study", "Study — accumulator families (paper §5)"),
+]
+
+
+def build_report() -> str:
+    lines = ["# Regenerated evaluation artefacts", ""]
+    missing = []
+    for stem, title in ORDER:
+        path = RESULTS / f"{stem}.txt"
+        lines.append(f"## {title}")
+        lines.append("")
+        if path.exists():
+            lines.append("```")
+            lines.append(path.read_text().rstrip())
+            lines.append("```")
+        else:
+            lines.append(f"*missing: run `pytest benchmarks/` to produce {path.name}*")
+            missing.append(stem)
+        lines.append("")
+    if missing:
+        lines.append(f"Missing artefacts: {', '.join(missing)}")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("benchmarks/results/REPORT.md")
+    out.write_text(build_report())
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
