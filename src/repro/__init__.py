@@ -33,6 +33,10 @@ Subpackages
     Trend fitting, breakdown buckets, report tables.
 ``repro.apps``
     AMG, triangle counting and Markov clustering built on the SpGEMM API.
+``repro.runtime`` / ``repro.errors``
+    Resilient execution: typed errors, memory budgets, fault injection,
+    chunked re-execution and the retry/fallback engine
+    (:func:`repro.runtime.policy.run_resilient`).
 """
 
 from repro.core import (
@@ -41,6 +45,14 @@ from repro.core import (
     TileSpGEMMResult,
     tile_spgemm,
     tile_spgemm_from_csr,
+)
+from repro.errors import (
+    CommFailure,
+    DeviceOOMError,
+    InvalidInputError,
+    ReproError,
+    ResilienceExhausted,
+    TransientKernelError,
 )
 from repro.formats import COOMatrix, CSBMatrix, CSRMatrix, read_mtx, write_mtx
 
@@ -57,5 +69,26 @@ __all__ = [
     "CSRMatrix",
     "read_mtx",
     "write_mtx",
+    "ReproError",
+    "InvalidInputError",
+    "DeviceOOMError",
+    "TransientKernelError",
+    "CommFailure",
+    "ResilienceExhausted",
+    # lazily resolved from repro.runtime:
+    "FaultPlan",
+    "RetryPolicy",
+    "ResilienceReport",
+    "run_resilient",
     "__version__",
 ]
+
+_RUNTIME_EXPORTS = {"FaultPlan", "RetryPolicy", "ResilienceReport", "run_resilient"}
+
+
+def __getattr__(name: str):
+    if name in _RUNTIME_EXPORTS:
+        import repro.runtime as _runtime
+
+        return getattr(_runtime, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

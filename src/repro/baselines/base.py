@@ -9,6 +9,7 @@ over methods generically.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
@@ -18,7 +19,28 @@ from repro.formats.csr import CSRMatrix
 from repro.util.alloc import AllocationTracker
 from repro.util.timing import PhaseTimer
 
-__all__ = ["SpGEMMResult", "register", "get_algorithm", "available_algorithms", "flops_of_product"]
+__all__ = [
+    "SpGEMMResult",
+    "register",
+    "get_algorithm",
+    "available_algorithms",
+    "flops_of_product",
+    "notify_step",
+]
+
+
+def notify_step(name: str) -> None:
+    """Report entering kernel phase ``name`` to the active fault plan.
+
+    A no-op unless the caller runs inside a
+    :func:`repro.runtime.context.execution_context` with a fault plan —
+    looked up through ``sys.modules`` so the baselines stay importable
+    without the runtime package.  The plan may raise a typed error here;
+    that is the injection point the resilience tests use.
+    """
+    mod = sys.modules.get("repro.runtime.context")
+    if mod is not None:
+        mod.note_step(name)
 
 
 @dataclass

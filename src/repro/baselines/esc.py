@@ -28,7 +28,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines._expand import compress_sorted, expand_products, row_upper_bounds
-from repro.baselines.base import SpGEMMResult, flops_of_product, register
+from repro.errors import InvalidInputError
+from repro.baselines.base import SpGEMMResult, flops_of_product, notify_step, register
 from repro.formats.csr import CSRMatrix
 from repro.util.alloc import AllocationTracker
 from repro.util.timing import PhaseTimer
@@ -55,12 +56,13 @@ def bin_rows(upper_bounds: np.ndarray) -> np.ndarray:
 def esc_spgemm(a: CSRMatrix, b: CSRMatrix) -> SpGEMMResult:
     """Multiply ``a @ b`` with the ESC pipeline (bhSPARSE strategy)."""
     if a.shape[1] != b.shape[0]:
-        raise ValueError("dimension mismatch")
+        raise InvalidInputError("dimension mismatch")
     timer = PhaseTimer()
     alloc = AllocationTracker()
 
     # ------------------------------------------------------------ analysis
     alloc.set_phase("analysis")
+    notify_step("analysis")
     with timer.phase("analysis"):
         ub = row_upper_bounds(a, b)
         bins = bin_rows(ub)
@@ -83,14 +85,17 @@ def esc_spgemm(a: CSRMatrix, b: CSRMatrix) -> SpGEMMResult:
         long_products = int(ub[ub > SHARED_LIMIT].sum())
         if long_products:
             alloc.alloc("progressive_realloc", long_products * 6)
+    notify_step("expansion")
     with timer.phase("expansion"):
         rows, cols, vals = expand_products(a, b)
 
     # --------------------------------------------------- sorting + compress
     alloc.set_phase("sort_compress")
+    notify_step("sorting")
     with timer.phase("sorting"):
         key = rows * b.shape[1] + cols
         order = np.argsort(key, kind="stable")
+    notify_step("compression")
     with timer.phase("compression"):
         c = compress_sorted(
             rows[order],

@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.base import SpGEMMResult, flops_of_product, register
+from repro.errors import InvalidInputError
+from repro.baselines.base import SpGEMMResult, flops_of_product, notify_step, register
 from repro.formats.csr import CSRMatrix
 from repro.util.alloc import AllocationTracker
 from repro.util.timing import PhaseTimer
@@ -33,7 +34,7 @@ __all__ = ["gustavson_spgemm"]
 def gustavson_spgemm(a: CSRMatrix, b: CSRMatrix) -> SpGEMMResult:
     """Multiply ``a @ b`` row by row with a dict accumulator."""
     if a.shape[1] != b.shape[0]:
-        raise ValueError("dimension mismatch")
+        raise InvalidInputError("dimension mismatch")
     timer = PhaseTimer()
     alloc = AllocationTracker()
     nrows = a.shape[0]
@@ -41,6 +42,7 @@ def gustavson_spgemm(a: CSRMatrix, b: CSRMatrix) -> SpGEMMResult:
     indptr = np.zeros(nrows + 1, dtype=np.int64)
     cols_out = []
     vals_out = []
+    notify_step("numeric")
     with timer.phase("numeric"):
         for i in range(nrows):
             acc: dict = {}

@@ -30,7 +30,8 @@ from repro.baselines._expand import (
     expand_products,
     row_upper_bounds,
 )
-from repro.baselines.base import SpGEMMResult, flops_of_product, register
+from repro.errors import InvalidInputError
+from repro.baselines.base import SpGEMMResult, flops_of_product, notify_step, register
 from repro.formats.csr import CSRMatrix
 from repro.util.alloc import AllocationTracker
 from repro.util.timing import PhaseTimer
@@ -68,13 +69,14 @@ def expected_probes(occupied: np.ndarray, table_size: np.ndarray) -> np.ndarray:
 def hash_spgemm(a: CSRMatrix, b: CSRMatrix) -> SpGEMMResult:
     """Multiply ``a @ b`` with the two-phase hash strategy (NSPARSE)."""
     if a.shape[1] != b.shape[0]:
-        raise ValueError("dimension mismatch")
+        raise InvalidInputError("dimension mismatch")
     timer = PhaseTimer()
     alloc = AllocationTracker()
     shape = (a.shape[0], b.shape[1])
 
     # ------------------------------------------------------------ analysis
     alloc.set_phase("analysis")
+    notify_step("analysis")
     with timer.phase("analysis"):
         ub = row_upper_bounds(a, b)
         table = hash_table_sizes(ub)
@@ -91,6 +93,7 @@ def hash_spgemm(a: CSRMatrix, b: CSRMatrix) -> SpGEMMResult:
 
     # ------------------------------------------------------------ symbolic
     alloc.set_phase("symbolic")
+    notify_step("symbolic")
     with timer.phase("symbolic"):
         rows_p, cols_p = expand_pattern(a, b)
         key = rows_p * shape[1] + cols_p
@@ -106,6 +109,7 @@ def hash_spgemm(a: CSRMatrix, b: CSRMatrix) -> SpGEMMResult:
 
     # ------------------------------------------------------------- numeric
     alloc.set_phase("numeric")
+    notify_step("numeric")
     with timer.phase("numeric"):
         rows, cols, vals = expand_products(a, b)
         c = compress_sorted(rows, cols, vals, shape)

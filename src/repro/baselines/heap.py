@@ -18,7 +18,8 @@ import heapq
 
 import numpy as np
 
-from repro.baselines.base import SpGEMMResult, flops_of_product, register
+from repro.errors import InvalidInputError
+from repro.baselines.base import SpGEMMResult, flops_of_product, notify_step, register
 from repro.formats.csr import CSRMatrix
 from repro.util.alloc import AllocationTracker
 from repro.util.timing import PhaseTimer
@@ -30,7 +31,7 @@ __all__ = ["heap_spgemm"]
 def heap_spgemm(a: CSRMatrix, b: CSRMatrix) -> SpGEMMResult:
     """Multiply ``a @ b`` with a per-row k-way heap merge."""
     if a.shape[1] != b.shape[0]:
-        raise ValueError("dimension mismatch")
+        raise InvalidInputError("dimension mismatch")
     timer = PhaseTimer()
     alloc = AllocationTracker()
     nrows = a.shape[0]
@@ -39,6 +40,7 @@ def heap_spgemm(a: CSRMatrix, b: CSRMatrix) -> SpGEMMResult:
     cols_out = []
     vals_out = []
     max_heap = 0
+    notify_step("numeric")
     with timer.phase("numeric"):
         for i in range(nrows):
             lo, hi = a.indptr[i], a.indptr[i + 1]

@@ -21,7 +21,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines._expand import row_upper_bounds
-from repro.baselines.base import SpGEMMResult, flops_of_product, register
+from repro.errors import InvalidInputError
+from repro.baselines.base import SpGEMMResult, flops_of_product, notify_step, register
 from repro.formats.csr import CSRMatrix
 from repro.util.alloc import AllocationTracker
 from repro.util.arrays import concat_ranges
@@ -64,12 +65,13 @@ def _merge_round(
 def rmerge_spgemm(a: CSRMatrix, b: CSRMatrix) -> SpGEMMResult:
     """Multiply ``a @ b`` by hierarchical two-way row merging."""
     if a.shape[1] != b.shape[0]:
-        raise ValueError("dimension mismatch")
+        raise InvalidInputError("dimension mismatch")
     timer = PhaseTimer()
     alloc = AllocationTracker()
     shape = (a.shape[0], b.shape[1])
 
     alloc.set_phase("analysis")
+    notify_step("analysis")
     with timer.phase("analysis"):
         ub = row_upper_bounds(a, b)
         row_lists = np.diff(a.indptr)  # lists to merge per row = len(a_i*)
@@ -80,6 +82,7 @@ def rmerge_spgemm(a: CSRMatrix, b: CSRMatrix) -> SpGEMMResult:
         alloc.alloc("merge_buffers", int(ub.sum()) * 12 * 2)
 
     # ------------------------------------------------- initial scaled lists
+    notify_step("numeric")
     with timer.phase("numeric"):
         b_row_len = np.diff(b.indptr)
         rep = b_row_len[a.indices] if a.nnz else np.empty(0, dtype=np.int64)

@@ -23,7 +23,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines._expand import row_upper_bounds
-from repro.baselines.base import SpGEMMResult, flops_of_product, register
+from repro.errors import InvalidInputError
+from repro.baselines.base import SpGEMMResult, flops_of_product, notify_step, register
 from repro.formats.csr import CSRMatrix
 from repro.util.alloc import AllocationTracker
 from repro.util.arrays import concat_ranges
@@ -40,7 +41,7 @@ RESIDENT_WORKERS: int = 256
 def spa_spgemm(a: CSRMatrix, b: CSRMatrix) -> SpGEMMResult:
     """Multiply ``a @ b`` row by row with a dense-row accumulator."""
     if a.shape[1] != b.shape[0]:
-        raise ValueError("dimension mismatch")
+        raise InvalidInputError("dimension mismatch")
     timer = PhaseTimer()
     alloc = AllocationTracker()
     nrows, ncols = a.shape[0], b.shape[1]
@@ -59,6 +60,7 @@ def spa_spgemm(a: CSRMatrix, b: CSRMatrix) -> SpGEMMResult:
     cols_out = []
     vals_out = []
     alloc.set_phase("numeric")
+    notify_step("numeric")
     with timer.phase("numeric"):
         for i in range(nrows):
             lo, hi = a.indptr[i], a.indptr[i + 1]

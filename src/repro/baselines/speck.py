@@ -25,7 +25,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines._expand import compress_sorted, expand_products, row_upper_bounds
-from repro.baselines.base import SpGEMMResult, flops_of_product, register
+from repro.errors import InvalidInputError
+from repro.baselines.base import SpGEMMResult, flops_of_product, notify_step, register
 from repro.formats.csr import CSRMatrix
 from repro.util.alloc import AllocationTracker
 from repro.util.timing import PhaseTimer
@@ -52,13 +53,14 @@ BIN_BOUNDS: np.ndarray = np.array(
 def speck_spgemm(a: CSRMatrix, b: CSRMatrix) -> SpGEMMResult:
     """Multiply ``a @ b`` with the spECK strategy."""
     if a.shape[1] != b.shape[0]:
-        raise ValueError("dimension mismatch")
+        raise InvalidInputError("dimension mismatch")
     timer = PhaseTimer()
     alloc = AllocationTracker()
     shape = (a.shape[0], b.shape[1])
 
     # ------------------------------------------------- lightweight analysis
     alloc.set_phase("analysis")
+    notify_step("analysis")
     with timer.phase("analysis"):
         ub = row_upper_bounds(a, b)
         bins = np.searchsorted(BIN_BOUNDS, ub, side="left")
@@ -73,6 +75,7 @@ def speck_spgemm(a: CSRMatrix, b: CSRMatrix) -> SpGEMMResult:
 
     # ------------------------------------------- fused symbolic + numeric
     alloc.set_phase("numeric")
+    notify_step("numeric")
     with timer.phase("numeric"):
         rows, cols, vals = expand_products(a, b)
         c = compress_sorted(rows, cols, vals, shape)

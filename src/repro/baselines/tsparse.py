@@ -22,7 +22,8 @@ from typing import Optional
 
 import numpy as np
 
-from repro.baselines.base import SpGEMMResult, flops_of_product, register
+from repro.errors import InvalidInputError
+from repro.baselines.base import SpGEMMResult, flops_of_product, notify_step, register
 from repro.core.pairs import enumerate_pairs_expand
 from repro.core.tile_matrix import TILE, TileMatrix
 from repro.formats.csr import CSRMatrix
@@ -66,12 +67,13 @@ def tsparse_spgemm(
         Tile pairs multiplied per batched GEMM call (bounds peak memory).
     """
     if a.shape[1] != b.shape[0]:
-        raise ValueError("dimension mismatch")
+        raise InvalidInputError("dimension mismatch")
     timer = PhaseTimer()
     alloc = AllocationTracker()
     T = tile_size
 
     alloc.set_phase("tiling")
+    notify_step("tiling")
     with timer.phase("tiling"):
         at = a_tiled if a_tiled is not None else TileMatrix.from_csr(a, T)
         bt = b_tiled if b_tiled is not None else TileMatrix.from_csr(b, T)
@@ -85,6 +87,7 @@ def tsparse_spgemm(
         # size having been live at the peak.
         alloc.alloc("dense_tiles_C", int(pairs.num_c_tiles * T * T * itemsize * 1.5))
 
+    notify_step("densify")
     with timer.phase("densify"):
         dense_a = densify_tiles(at, dtype)
         dense_b = densify_tiles(bt, dtype)
@@ -92,6 +95,7 @@ def tsparse_spgemm(
     num_c = pairs.num_c_tiles
     dense_c = np.zeros((num_c, T, T), dtype=np.float64)
     slots = pairs.pair_c_slot()
+    notify_step("numeric")
     with timer.phase("numeric"):
         for start in range(0, pairs.num_pairs, chunk_pairs):
             end = min(start + chunk_pairs, pairs.num_pairs)
@@ -100,6 +104,7 @@ def tsparse_spgemm(
             )
             np.add.at(dense_c, slots[start:end], prod.astype(np.float64))
 
+    notify_step("sparsify")
     with timer.phase("sparsify"):
         tile_slot, r, ccol = np.nonzero(dense_c)
         rows = pairs.c_tilerow[tile_slot] * T + r

@@ -28,6 +28,8 @@ from repro.core.step1 import TileLayout, step1_tile_layout
 from repro.core.step2 import SymbolicResult, step2_symbolic
 from repro.core.step3 import DEFAULT_TNNZ, NumericResult, step3_numeric
 from repro.core.tile_matrix import TILE, TileMatrix
+from repro.errors import InvalidInputError
+from repro.runtime.context import execution_context, note_step
 from repro.util.alloc import AllocationTracker
 from repro.util.timing import PhaseTimer
 
@@ -71,6 +73,23 @@ class TileSpGEMMResult:
         t = self.timer.total if seconds is None else seconds
         return self.flops / t / 1e9 if t > 0 else 0.0
 
+    def as_spgemm_result(self, method: str = "tilespgemm"):
+        """Adapt to the baselines' result type for ``estimate_run`` et al.
+
+        The adapter carries timer/ledger/stats only (``c=None``): enough
+        for the cost model and memory curves, which never look at the
+        product itself.
+        """
+        from repro.baselines.base import SpGEMMResult
+
+        return SpGEMMResult(
+            c=None,
+            method=method,
+            timer=self.timer,
+            alloc=self.alloc,
+            stats=dict(self.stats),
+        )
+
 
 def tile_spgemm(
     a: TileMatrix,
@@ -81,6 +100,8 @@ def tile_spgemm(
     force_accumulator: Optional[str] = None,
     keep_empty_tiles: bool = True,
     value_dtype=np.float64,
+    budget_bytes: Optional[int] = None,
+    fault_plan=None,
 ) -> TileSpGEMMResult:
     """Multiply two tiled sparse matrices with the TileSpGEMM algorithm.
 
@@ -106,24 +127,57 @@ def tile_spgemm(
         Precision of the numeric products (``np.float16`` emulates the
         half-precision tSparse-comparison mode; see
         :func:`repro.core.step3.step3_numeric`).
+    budget_bytes:
+        Optional logical device-memory budget; exceeding it raises
+        :class:`~repro.errors.DeviceOOMError` at the offending allocation
+        (recover with :func:`repro.runtime.chunked.chunked_tile_spgemm` or
+        :func:`repro.runtime.policy.run_resilient`).
+    fault_plan:
+        Optional :class:`~repro.runtime.faults.FaultPlan` observing this
+        run's allocations and steps.  Both parameters default to the
+        active :func:`~repro.runtime.context.execution_context`.
 
     Returns
     -------
     TileSpGEMMResult
     """
     if a.tile_size != b.tile_size:
-        raise ValueError("A and B must use the same tile size")
+        raise InvalidInputError("A and B must use the same tile size")
     if a.shape[1] != b.shape[0]:
-        raise ValueError(
+        raise InvalidInputError(
             f"dimension mismatch: A is {a.shape[0]}x{a.shape[1]}, "
             f"B is {b.shape[0]}x{b.shape[1]}"
         )
+    with execution_context(budget_bytes=budget_bytes, fault_plan=fault_plan):
+        return _tile_spgemm_under_context(
+            a,
+            b,
+            tnnz=tnnz,
+            step1_method=step1_method,
+            intersect_method=intersect_method,
+            force_accumulator=force_accumulator,
+            keep_empty_tiles=keep_empty_tiles,
+            value_dtype=value_dtype,
+        )
+
+
+def _tile_spgemm_under_context(
+    a: TileMatrix,
+    b: TileMatrix,
+    tnnz: int,
+    step1_method: str,
+    intersect_method: str,
+    force_accumulator: Optional[str],
+    keep_empty_tiles: bool,
+    value_dtype,
+) -> TileSpGEMMResult:
     timer = PhaseTimer()
     alloc = AllocationTracker()
     T = a.tile_size
 
     # ------------------------------------------------------------- step 1
     alloc.set_phase("step1")
+    note_step("step1")
     with timer.phase("step1"):
         layout = step1_tile_layout(
             a.tile_pattern_csr(), b.tile_pattern_csr(), method=step1_method
@@ -134,6 +188,7 @@ def tile_spgemm(
 
     # ------------------------------------------------------------- step 2
     alloc.set_phase("step2")
+    note_step("step2")
     with timer.phase("step2"):
         if intersect_method == "expand":
             pairs = enumerate_pairs_expand(a, b)
@@ -156,6 +211,7 @@ def tile_spgemm(
 
     # ------------------------------------------------------------- step 3
     alloc.set_phase("step3")
+    note_step("step3")
     with timer.phase("step3"):
         num = step3_numeric(
             a,

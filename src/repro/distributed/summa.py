@@ -31,9 +31,11 @@ import numpy as np
 from repro.apps.sparse_ops import add
 from repro.baselines.base import get_algorithm
 from repro.distributed.grid import ProcessGrid
+from repro.errors import CommFailure, InvalidInputError
 from repro.formats.csr import CSRMatrix
 from repro.gpu.costmodel import estimate_run
 from repro.gpu.device import RTX3090, DeviceModel
+from repro.runtime.context import current_fault_plan
 
 __all__ = ["DistributedSpGEMMResult", "summa_spgemm", "csr_wire_bytes"]
 
@@ -64,6 +66,8 @@ class DistributedSpGEMMResult:
     comm_s: np.ndarray
     flops: int = 0
     per_stage_volume: List[int] = field(default_factory=list)
+    #: broadcast transfers repeated after an injected communication fault
+    retransmits: int = 0
 
     @property
     def total_comm_volume(self) -> int:
@@ -98,6 +102,8 @@ def summa_spgemm(
     method: str = "tilespgemm",
     alpha_s: float = DEFAULT_ALPHA_S,
     beta_s_per_byte: float = DEFAULT_BETA_S_PER_BYTE,
+    fault_plan=None,
+    max_retransmits: int = 0,
 ) -> DistributedSpGEMMResult:
     """Multiply ``a @ b`` with sparse SUMMA on the given process grid.
 
@@ -114,10 +120,39 @@ def summa_spgemm(
         Registered SpGEMM method used for the local block multiplies.
     alpha_s, beta_s_per_byte:
         Interconnect latency/inverse-bandwidth of the time model.
+    fault_plan:
+        Optional :class:`~repro.runtime.faults.FaultPlan` observing each
+        point-to-point transfer of the panel broadcasts (defaults to the
+        active execution context's plan).
+    max_retransmits:
+        Lost transfers are resent up to this many times per transfer, each
+        resend re-charged to the alpha-beta model; a transfer still failing
+        after that raises :class:`~repro.errors.CommFailure`.
     """
     if a.shape[1] != b.shape[0]:
-        raise ValueError("dimension mismatch")
+        raise InvalidInputError("dimension mismatch")
     spgemm = get_algorithm(method)
+    plan = fault_plan if fault_plan is not None else current_fault_plan()
+    retransmits = 0
+
+    def transfer(tag: str, pi: int, pj: int, nbytes: int) -> float:
+        """One point-to-point leg of a broadcast; returns extra comm
+        seconds paid for retransmissions (first send is charged by the
+        caller)."""
+        nonlocal retransmits
+        if plan is None:
+            return 0.0
+        extra = 0.0
+        for attempt in range(max_retransmits + 1):
+            try:
+                plan.on_broadcast(f"stage{tag}->({pi},{pj})")
+                return extra
+            except CommFailure:
+                if attempt == max_retransmits:
+                    raise
+                retransmits += 1
+                extra += alpha_s + nbytes * beta_s_per_byte
+        return extra
 
     row_blocks = grid.row_blocks(a.shape[0])
     col_blocks = grid.col_blocks(b.shape[1])
@@ -166,11 +201,13 @@ def summa_spgemm(
                     recv[pi, pj] += a_bytes
                     sent[pi, owner_pj] += a_bytes
                     comm[pi, pj] += alpha_s + a_bytes * beta_s_per_byte
+                    comm[pi, pj] += transfer(f"{k}:A", pi, pj, a_bytes)
                     stage_volume += a_bytes
                 if grid.p_rows > 1 and pi != owner_pi:
                     recv[pi, pj] += b_bytes
                     sent[owner_pi, pj] += b_bytes
                     comm[pi, pj] += alpha_s + b_bytes * beta_s_per_byte
+                    comm[pi, pj] += transfer(f"{k}:B", pi, pj, b_bytes)
                     stage_volume += b_bytes
 
                 if a_blk.nnz == 0 or b_blk.nnz == 0:
@@ -216,4 +253,5 @@ def summa_spgemm(
         comm_s=comm,
         flops=flops,
         per_stage_volume=per_stage_volume,
+        retransmits=retransmits,
     )

@@ -1,0 +1,164 @@
+"""Typed error taxonomy for the resilient execution runtime.
+
+Real SpGEMM deployments fail in a handful of characteristic ways — the
+symbolic phase discovers that ``nnz(C)`` does not fit device memory, a
+kernel hits a transient fault, a broadcast in a distributed run is lost,
+or the inputs were malformed to begin with.  The reproduction previously
+surfaced all of these as ad-hoc ``ValueError``s (or raw tracebacks); this
+module gives each failure class its own exception type so the runtime
+(:mod:`repro.runtime`) can react differently to each:
+
+* :class:`InvalidInputError` — permanent, the caller's fault; never retried.
+* :class:`DeviceOOMError` — deterministic for a given budget; recovered by
+  chunked re-execution (:mod:`repro.runtime.chunked`), not by retrying.
+* :class:`TransientKernelError` — assumed to vanish on retry; handled with
+  exponential backoff.
+* :class:`CommFailure` — a transient specific to the distributed layer;
+  recovered by retransmission.
+
+The classes double-inherit from the builtin types they historically were
+(``ValueError`` / ``MemoryError`` / ``RuntimeError``), so every existing
+``except ValueError`` caller keeps working.
+
+The module also owns the CLI exit-code contract: one distinct non-zero
+code per error class (see :func:`exit_code_for`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "ReproError",
+    "InvalidInputError",
+    "DeviceOOMError",
+    "TransientKernelError",
+    "CommFailure",
+    "ResilienceExhausted",
+    "EXIT_OK",
+    "EXIT_CHECK_FAILED",
+    "EXIT_USAGE",
+    "EXIT_INVALID_INPUT",
+    "EXIT_FILE_NOT_FOUND",
+    "EXIT_OOM",
+    "EXIT_TRANSIENT",
+    "EXIT_COMM",
+    "EXIT_EXHAUSTED",
+    "exit_code_for",
+]
+
+
+class ReproError(Exception):
+    """Base class of every typed error raised by this library."""
+
+
+class InvalidInputError(ReproError, ValueError):
+    """The inputs are malformed: bad file, bad format, mismatched shapes.
+
+    Permanent — retrying or degrading cannot help, so the resilient runtime
+    re-raises these immediately.
+    """
+
+
+class DeviceOOMError(ReproError, MemoryError):
+    """A logical device allocation exceeded the memory budget.
+
+    Raised by :class:`repro.util.alloc.AllocationTracker` at the offending
+    allocation, i.e. exactly where ``cudaMalloc`` would have returned
+    ``cudaErrorMemoryAllocation``.  Carries the context a recovery policy
+    needs to decide how much to shrink the working set.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        requested_bytes: int,
+        live_bytes: int,
+        budget_bytes: Optional[int],
+    ) -> None:
+        self.label = label
+        self.requested_bytes = int(requested_bytes)
+        self.live_bytes = int(live_bytes)
+        self.budget_bytes = None if budget_bytes is None else int(budget_bytes)
+        budget = "unbounded" if budget_bytes is None else f"{int(budget_bytes)} B"
+        super().__init__(
+            f"device OOM allocating {label!r}: requested {self.requested_bytes} B "
+            f"with {self.live_bytes} B live (budget {budget})"
+        )
+
+
+class TransientKernelError(ReproError, RuntimeError):
+    """A kernel failed in a way expected to vanish on retry.
+
+    The modelled analogue of an ECC hiccup, a watchdog timeout or a
+    preempted kernel; injected via :class:`repro.runtime.faults.FaultPlan`
+    and retried with exponential backoff by
+    :func:`repro.runtime.policy.run_resilient`.
+    """
+
+    def __init__(self, site: str, detail: str = "") -> None:
+        self.site = site
+        msg = f"transient kernel fault at {site!r}"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+
+
+class CommFailure(TransientKernelError):
+    """A lost or corrupted message in the distributed (SUMMA) layer.
+
+    A subclass of :class:`TransientKernelError` because it shares the
+    retry-with-backoff handling; kept distinct so retransmission counters
+    and exit codes can tell the two apart.
+    """
+
+    def __init__(self, stage: str, detail: str = "") -> None:
+        msg = f"communication failure at {stage!r}"
+        if detail:
+            msg += f": {detail}"
+        RuntimeError.__init__(self, msg)
+        self.site = stage
+        self.stage = stage
+
+
+class ResilienceExhausted(ReproError):
+    """Every rung of the fallback ladder failed.
+
+    Raised by :func:`repro.runtime.policy.run_resilient` after the last
+    fallback algorithm also failed; chains the final underlying error.
+    """
+
+
+# ----------------------------------------------------------------------
+# CLI exit-code contract (one distinct code per error class)
+# ----------------------------------------------------------------------
+EXIT_OK = 0  #: run completed and the cross-check passed
+EXIT_CHECK_FAILED = 1  #: run completed but the cross-check failed
+EXIT_USAGE = 2  #: bad command line (argparse's own convention)
+EXIT_INVALID_INPUT = 3  #: malformed matrix file or dimension mismatch
+EXIT_FILE_NOT_FOUND = 4  #: matrix file does not exist
+EXIT_OOM = 5  #: device memory budget exceeded
+EXIT_TRANSIENT = 6  #: transient kernel fault (retries exhausted)
+EXIT_COMM = 7  #: communication failure in the distributed layer
+EXIT_EXHAUSTED = 8  #: resilient runtime ran out of fallbacks
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """Map an exception to the CLI's exit-code contract.
+
+    Subclass checks run most-specific first (``CommFailure`` before
+    ``TransientKernelError``, typed errors before their builtin bases).
+    """
+    if isinstance(exc, ResilienceExhausted):
+        return EXIT_EXHAUSTED
+    if isinstance(exc, CommFailure):
+        return EXIT_COMM
+    if isinstance(exc, TransientKernelError):
+        return EXIT_TRANSIENT
+    if isinstance(exc, DeviceOOMError):
+        return EXIT_OOM
+    if isinstance(exc, FileNotFoundError):
+        return EXIT_FILE_NOT_FOUND
+    if isinstance(exc, InvalidInputError):
+        return EXIT_INVALID_INPUT
+    return 1

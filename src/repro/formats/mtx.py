@@ -21,6 +21,7 @@ from typing import Union
 
 import numpy as np
 
+from repro.errors import InvalidInputError
 from repro.formats.coo import COOMatrix
 
 __all__ = ["read_mtx", "write_mtx"]
@@ -39,9 +40,10 @@ def read_mtx(path_or_file: Union[str, os.PathLike, io.IOBase]) -> COOMatrix:
 
     Raises
     ------
-    ValueError
+    InvalidInputError
         On malformed headers, unsupported qualifiers (``complex``,
-        ``hermitian``, ``array``) or out-of-range indices.
+        ``hermitian``, ``array``), unparseable entries or out-of-range
+        indices (a ``ValueError`` subclass, so old callers keep working).
     """
     if isinstance(path_or_file, (str, os.PathLike)):
         with open(path_or_file, "r", encoding="utf-8") as fh:
@@ -52,40 +54,46 @@ def read_mtx(path_or_file: Union[str, os.PathLike, io.IOBase]) -> COOMatrix:
 def _read_stream(fh) -> COOMatrix:
     header = fh.readline()
     if not header.startswith("%%MatrixMarket"):
-        raise ValueError("missing %%MatrixMarket header")
+        raise InvalidInputError("missing %%MatrixMarket header")
     parts = header.strip().split()
     if len(parts) < 5:
-        raise ValueError(f"malformed header: {header.strip()!r}")
+        raise InvalidInputError(f"malformed header: {header.strip()!r}")
     _, obj, fmt, field, symmetry = parts[:5]
     obj, fmt, field, symmetry = (s.lower() for s in (obj, fmt, field, symmetry))
     if obj != "matrix" or fmt != "coordinate":
-        raise ValueError(f"unsupported MatrixMarket object/format: {obj} {fmt}")
+        raise InvalidInputError(f"unsupported MatrixMarket object/format: {obj} {fmt}")
     if field not in _SUPPORTED_FIELDS:
-        raise ValueError(f"unsupported field type: {field}")
+        raise InvalidInputError(f"unsupported field type: {field}")
     if symmetry not in _SUPPORTED_SYMMETRIES:
-        raise ValueError(f"unsupported symmetry: {symmetry}")
+        raise InvalidInputError(f"unsupported symmetry: {symmetry}")
 
     # Skip comments and blank lines to the size line.
     line = fh.readline()
     while line and (line.startswith("%") or not line.strip()):
         line = fh.readline()
     if not line:
-        raise ValueError("missing size line")
+        raise InvalidInputError("missing size line")
     size_parts = line.split()
     if len(size_parts) != 3:
-        raise ValueError(f"malformed size line: {line.strip()!r}")
-    nrows, ncols, nnz = (int(p) for p in size_parts)
+        raise InvalidInputError(f"malformed size line: {line.strip()!r}")
+    try:
+        nrows, ncols, nnz = (int(p) for p in size_parts)
+    except ValueError:
+        raise InvalidInputError(f"non-integer size line: {line.strip()!r}") from None
 
     is_pattern = field == "pattern"
     body = fh.read()
     if nnz == 0:
         return COOMatrix((nrows, ncols), np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0))
-    table = np.loadtxt(io.StringIO(body), ndmin=2, comments="%")
+    try:
+        table = np.loadtxt(io.StringIO(body), ndmin=2, comments="%")
+    except ValueError as exc:
+        raise InvalidInputError(f"unparseable entry lines: {exc}") from None
     if table.shape[0] != nnz:
-        raise ValueError(f"expected {nnz} entries, file contains {table.shape[0]}")
+        raise InvalidInputError(f"expected {nnz} entries, file contains {table.shape[0]}")
     expected_cols = 2 if is_pattern else 3
     if table.shape[1] < expected_cols:
-        raise ValueError("entry lines have too few columns")
+        raise InvalidInputError("entry lines have too few columns")
     row = table[:, 0].astype(np.int64) - 1
     col = table[:, 1].astype(np.int64) - 1
     val = np.ones(nnz, dtype=np.float64) if is_pattern else table[:, 2].astype(np.float64)

@@ -296,8 +296,19 @@ def _estimate_tilespgemm(result: SpGEMMResult, device: DeviceModel) -> GPUEstima
     )
     est.kernels.append(_kernel("step3", device, step3_cycles, step3_bytes))
 
+    # Chunked re-execution (repro.runtime.chunked) launches the three step
+    # kernels once per batch; the compute/memory work is unchanged but the
+    # extra launches are real overhead the estimate must charge.
+    batches = int(s.get("batches", 1))
+    if batches > 1:
+        est.kernels.append(
+            KernelEstimate(
+                "relaunch", 0.0, 0.0, 3 * (batches - 1) * device.kernel_launch_us * 1e-6
+            )
+        )
+
     est.malloc_s = _malloc_seconds(result, device)
-    est.oom = result.alloc.peak_bytes > device.dram_gb * 1e9
+    est.oom = result.alloc.peak_bytes > device.dram_capacity_bytes
     return est
 
 
@@ -312,7 +323,7 @@ def _estimate_spa(result: SpGEMMResult, device: DeviceModel) -> GPUEstimate:
     )
     est.kernels.append(_kernel("numeric", device, cycles, nbytes))
     est.malloc_s = _malloc_seconds(result, device)
-    est.oom = result.alloc.peak_bytes > device.dram_gb * 1e9
+    est.oom = result.alloc.peak_bytes > device.dram_capacity_bytes
     return est
 
 
@@ -344,7 +355,7 @@ def _estimate_esc(result: SpGEMMResult, device: DeviceModel) -> GPUEstimate:
     est.kernels.append(_kernel("sort_compress", device, sort_cycles, sort_bytes))
 
     est.malloc_s = _malloc_seconds(result, device)
-    est.oom = result.alloc.peak_bytes > device.dram_gb * 1e9
+    est.oom = result.alloc.peak_bytes > device.dram_capacity_bytes
     return est
 
 
@@ -384,7 +395,7 @@ def _estimate_hash(result: SpGEMMResult, device: DeviceModel) -> GPUEstimate:
             nbytes += nnz_c * COST["bytes_per_cnnz"]
         est.kernels.append(_kernel(phase, device, cycles, nbytes))
     est.malloc_s = _malloc_seconds(result, device)
-    est.oom = result.alloc.peak_bytes > device.dram_gb * 1e9
+    est.oom = result.alloc.peak_bytes > device.dram_capacity_bytes
     return est
 
 
@@ -422,7 +433,7 @@ def _estimate_speck(result: SpGEMMResult, device: DeviceModel) -> GPUEstimate:
     )
     est.kernels.append(_kernel("numeric", device, cycles, nbytes))
     est.malloc_s = _malloc_seconds(result, device)
-    est.oom = result.alloc.peak_bytes > device.dram_gb * 1e9
+    est.oom = result.alloc.peak_bytes > device.dram_capacity_bytes
     return est
 
 
@@ -443,7 +454,7 @@ def _estimate_rmerge(result: SpGEMMResult, device: DeviceModel) -> GPUEstimate:
     )
     est.kernels.append(_kernel("numeric", device, cycles, nbytes))
     est.malloc_s = _malloc_seconds(result, device)
-    est.oom = result.alloc.peak_bytes > device.dram_gb * 1e9
+    est.oom = result.alloc.peak_bytes > device.dram_capacity_bytes
     return est
 
 
@@ -476,7 +487,7 @@ def _estimate_tsparse(result: SpGEMMResult, device: DeviceModel) -> GPUEstimate:
         total_alloc * COST["tsparse.malloc_multiplier"],
         num_allocs=int(num_c_tiles // 512) + 6,
     )
-    est.oom = result.alloc.peak_bytes > device.dram_gb * 1e9
+    est.oom = result.alloc.peak_bytes > device.dram_capacity_bytes
     return est
 
 

@@ -75,6 +75,16 @@ class DeviceModel:
     issue_width: int = 4  #: warp instructions an SM can issue per cycle
 
     @property
+    def dram_capacity_bytes(self) -> int:
+        """DRAM capacity in bytes (Table 1: 12 GB / 24 GB, decimal units).
+
+        This is the out-of-memory threshold of the execution model and the
+        natural ``budget_bytes`` for a
+        :class:`~repro.util.alloc.AllocationTracker` simulating this card.
+        """
+        return int(self.dram_gb * 1e9)
+
+    @property
     def warp_slots(self) -> int:
         """Concurrently resident warps across the device."""
         return self.num_sms * self.resident_warps_per_sm

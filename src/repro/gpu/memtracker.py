@@ -50,7 +50,11 @@ def memory_curve(result: SpGEMMResult, device: DeviceModel) -> MemoryCurve:
     samples the allocator between kernels).
     """
     est: GPUEstimate = estimate_run(result, device)
-    seconds = est.seconds if not est.oom else float("nan")
+    # OOM is a property of the ledger against the device's Table-1 DRAM
+    # capacity — derived here directly so the curve is right even for
+    # methods whose estimator is a stand-in.
+    oom = result.alloc.peak_bytes > device.dram_capacity_bytes
+    seconds = est.seconds if not oom else float("nan")
     total = seconds if seconds == seconds else result.timer.total  # NaN-safe
     points = result.alloc.timeline(total_seconds=total)
     return MemoryCurve(
@@ -58,5 +62,5 @@ def memory_curve(result: SpGEMMResult, device: DeviceModel) -> MemoryCurve:
         points=points,
         peak_bytes=result.alloc.peak_bytes,
         total_seconds=total,
-        oom=est.oom,
+        oom=oom,
     )

@@ -1,0 +1,75 @@
+"""Resilient execution runtime: budgets, faults, chunking, fallback.
+
+The production-facing wrapper around the SpGEMM engines:
+
+* :mod:`repro.runtime.context` — ambient execution context carrying the
+  device memory budget and the active fault plan;
+* :mod:`repro.runtime.faults` — deterministic seeded fault injection
+  (:class:`FaultPlan`);
+* :mod:`repro.runtime.chunked` — chunked tile-row re-execution under a
+  budget, stitching a bit-identical result;
+* :mod:`repro.runtime.policy` — retry/backoff/fallback engine
+  (:func:`run_resilient`) returning a :class:`ResilienceReport`.
+
+See ``docs/RESILIENCE.md`` for the design.
+
+``chunked`` and ``policy`` import the core algorithm, so they are loaded
+lazily (PEP 562) — the core itself can import :mod:`~repro.runtime.context`
+without a cycle.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.context import (
+    ExecutionContext,
+    current_budget_bytes,
+    current_context,
+    current_fault_plan,
+    execution_context,
+    note_broadcast,
+    note_step,
+)
+from repro.runtime.faults import FaultPlan, FaultSpec, FiredFault
+
+__all__ = [
+    "ExecutionContext",
+    "execution_context",
+    "current_context",
+    "current_budget_bytes",
+    "current_fault_plan",
+    "note_step",
+    "note_broadcast",
+    "FaultPlan",
+    "FaultSpec",
+    "FiredFault",
+    # lazily loaded:
+    "chunked_tile_spgemm",
+    "slice_tile_rows",
+    "RetryPolicy",
+    "AttemptRecord",
+    "ResilienceReport",
+    "ResilientResult",
+    "run_resilient",
+]
+
+_LAZY = {
+    "chunked_tile_spgemm": "repro.runtime.chunked",
+    "slice_tile_rows": "repro.runtime.chunked",
+    "RetryPolicy": "repro.runtime.policy",
+    "AttemptRecord": "repro.runtime.policy",
+    "ResilienceReport": "repro.runtime.policy",
+    "ResilientResult": "repro.runtime.policy",
+    "run_resilient": "repro.runtime.policy",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        return getattr(importlib.import_module(_LAZY[name]), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

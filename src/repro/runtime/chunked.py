@@ -1,0 +1,233 @@
+"""Chunked re-execution: TileSpGEMM in tile-row batches under a budget.
+
+When the symbolic phase discovers that ``C`` does not fit the device
+budget, the run need not die: tile row ``i`` of ``C`` depends only on tile
+row ``i`` of ``A`` (and all of ``B``), so the C tile-row space can be
+split into batches, each batch executed as an independent TileSpGEMM under
+the budget, its output offloaded, and the pieces stitched back together.
+This is the progressive/batched allocation strategy the paper credits to
+the bhSPARSE framework — applied here to the tiled algorithm itself.
+
+Peak logical memory of the chunked run is the *maximum over batches* (each
+batch's device buffers are freed once its piece of ``C`` is offloaded),
+which is what lets a run that would OOM complete inside the budget.
+
+The stitched result is **bit-identical** to the single-shot run: batches
+partition the candidate tiles in tile-row order, every per-tile array is
+produced in the same global order, and the numeric phase performs the same
+accumulations per tile.  The property-based tests assert exact equality of
+every structural array and of the values.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.tile_matrix import TileMatrix
+from repro.core.tilespgemm import TileSpGEMMResult, tile_spgemm
+from repro.errors import InvalidInputError
+from repro.util.alloc import AllocationTracker
+from repro.util.timing import PhaseTimer
+
+__all__ = ["slice_tile_rows", "chunked_tile_spgemm"]
+
+#: Stats entries that are scalar totals, summed across batches.
+_SCALAR_KEYS = (
+    "num_products",
+    "flops",
+    "num_c_tiles",
+    "nnz_c",
+    "symbolic_ops",
+    "tile_flops_step1",
+    "sparse_tiles",
+    "dense_tiles",
+)
+
+#: Stats entries that are per-tile / per-pair arrays in global tile order.
+_ARRAY_KEYS = (
+    "pairs_per_tile",
+    "intersect_len_a",
+    "intersect_len_b",
+    "pair_a_nnz",
+    "products_per_tile",
+    "tile_nnz_counts",
+    "tile_use_dense",
+)
+
+
+def slice_tile_rows(a: TileMatrix, r0: int, r1: int) -> TileMatrix:
+    """The sub-matrix holding tile rows ``[r0, r1)`` of ``a``.
+
+    The slice is a zero-copy view onto ``a``'s arrays wherever NumPy
+    slicing allows, with row count ``min(nrows - r0*T, (r1-r0)*T)`` so the
+    last batch keeps a ragged final tile row.
+    """
+    if not 0 <= r0 <= r1 <= a.num_tile_rows:
+        raise InvalidInputError(
+            f"tile-row slice [{r0}, {r1}) out of range for {a.num_tile_rows} tile rows"
+        )
+    T = a.tile_size
+    t0, t1 = int(a.tileptr[r0]), int(a.tileptr[r1])
+    n0, n1 = int(a.tilennz[t0]), int(a.tilennz[t1])
+    rows = min(a.shape[0] - r0 * T, (r1 - r0) * T)
+    return TileMatrix(
+        (rows, a.shape[1]),
+        T,
+        a.tileptr[r0 : r1 + 1] - t0,
+        a.tilecolidx[t0:t1],
+        a.tilennz[t0 : t1 + 1] - n0,
+        a.rowptr[t0:t1],
+        a.rowidx[n0:n1],
+        a.colidx[n0:n1],
+        a.val[n0:n1],
+        a.mask[t0:t1],
+        check=False,
+    )
+
+
+def chunked_tile_spgemm(
+    a: TileMatrix,
+    b: TileMatrix,
+    num_batches: int = 2,
+    budget_bytes: Optional[int] = None,
+    fault_plan=None,
+    keep_empty_tiles: bool = True,
+    **kwargs,
+) -> TileSpGEMMResult:
+    """Run TileSpGEMM in ``num_batches`` tile-row batches and stitch ``C``.
+
+    Parameters
+    ----------
+    a, b:
+        Tiled operands, as for :func:`repro.core.tilespgemm.tile_spgemm`.
+    num_batches:
+        Number of tile-row batches (clamped to ``a.num_tile_rows``); each
+        batch runs steps 1–3 independently under the budget.
+    budget_bytes, fault_plan:
+        Per-batch budget / fault plan, defaulting to the active
+        :func:`~repro.runtime.context.execution_context`.
+    keep_empty_tiles:
+        As for ``tile_spgemm``; applied to the stitched matrix.
+    **kwargs:
+        Remaining ``tile_spgemm`` options (``tnnz``, methods, dtype...).
+
+    Returns
+    -------
+    TileSpGEMMResult
+        With ``stats["batches"]`` recording the batch count, a merged
+        phase timer, and a merged ledger whose peak is the maximum
+        per-batch peak (batch buffers are freed at each batch boundary).
+    """
+    if a.tile_size != b.tile_size:
+        raise InvalidInputError("A and B must use the same tile size")
+    if a.shape[1] != b.shape[0]:
+        raise InvalidInputError(
+            f"dimension mismatch: A is {a.shape[0]}x{a.shape[1]}, "
+            f"B is {b.shape[0]}x{b.shape[1]}"
+        )
+    num_tile_rows = a.num_tile_rows
+    num_batches = max(1, min(int(num_batches), max(num_tile_rows, 1)))
+    if num_batches <= 1:
+        result = tile_spgemm(
+            a,
+            b,
+            keep_empty_tiles=keep_empty_tiles,
+            budget_bytes=budget_bytes,
+            fault_plan=fault_plan,
+            **kwargs,
+        )
+        result.stats["batches"] = 1
+        return result
+
+    bounds = np.linspace(0, num_tile_rows, num_batches + 1).astype(np.int64)
+    batch_results: List[TileSpGEMMResult] = []
+    for k in range(num_batches):
+        r0, r1 = int(bounds[k]), int(bounds[k + 1])
+        a_k = slice_tile_rows(a, r0, r1)
+        batch_results.append(
+            tile_spgemm(
+                a_k,
+                b,
+                keep_empty_tiles=True,
+                budget_bytes=budget_bytes,
+                fault_plan=fault_plan,
+                **kwargs,
+            )
+        )
+
+    return _stitch(batch_results, a, b, keep_empty_tiles)
+
+
+def _stitch(
+    batches: List[TileSpGEMMResult],
+    a: TileMatrix,
+    b: TileMatrix,
+    keep_empty_tiles: bool,
+) -> TileSpGEMMResult:
+    """Assemble the global result from per-batch results (tile-row order)."""
+    T = a.tile_size
+
+    # --- C: concatenate the per-batch pieces (already in global order).
+    tileptr = np.concatenate(
+        [np.zeros(1, dtype=np.int64)] + [np.diff(r.c.tileptr) for r in batches]
+    )
+    np.cumsum(tileptr, out=tileptr)
+    tilennz = np.concatenate(
+        [np.zeros(1, dtype=np.int64)] + [np.diff(r.c.tilennz) for r in batches]
+    )
+    np.cumsum(tilennz, out=tilennz)
+    c = TileMatrix(
+        (a.shape[0], b.shape[1]),
+        T,
+        tileptr,
+        np.concatenate([r.c.tilecolidx for r in batches]),
+        tilennz,
+        np.concatenate([r.c.rowptr for r in batches], axis=0),
+        np.concatenate([r.c.rowidx for r in batches]),
+        np.concatenate([r.c.colidx for r in batches]),
+        np.concatenate([r.c.val for r in batches]),
+        np.concatenate([r.c.mask for r in batches], axis=0),
+        check=False,
+    )
+    if not keep_empty_tiles:
+        c = c.drop_empty_tiles()
+
+    # --- Timer: phase times add across batches.
+    timer = PhaseTimer()
+    for r in batches:
+        timer.merge(r.timer)
+
+    # --- Ledger: replay each batch then free its buffers (the offload).
+    # ``use_context=False`` so the replay neither re-enforces the budget
+    # nor re-fires the fault plan on events that already happened.
+    alloc = AllocationTracker(use_context=False)
+    for k, r in enumerate(batches):
+        for ev in r.alloc.events:
+            alloc.set_phase(ev.phase)
+            if ev.kind == "alloc":
+                alloc.alloc(f"batch{k}/{ev.label}", ev.nbytes)
+            else:
+                alloc.free(f"batch{k}/{ev.label}")
+        alloc.set_phase("offload")
+        for label in alloc.live_labels():
+            if label.startswith(f"batch{k}/"):
+                alloc.free(label)
+
+    # --- Stats: sum the totals, concatenate the per-tile arrays.
+    stats: dict = {}
+    for key in _SCALAR_KEYS:
+        stats[key] = int(sum(int(r.stats.get(key, 0)) for r in batches))
+    for key in _ARRAY_KEYS:
+        stats[key] = np.concatenate([np.asarray(r.stats[key]) for r in batches])
+    stats.update(
+        num_tiles_a=a.num_tiles,
+        num_tiles_b=b.num_tiles,
+        nnz_a=a.nnz,
+        nnz_b=b.nnz,
+        tile_size=T,
+        batches=len(batches),
+    )
+
+    return TileSpGEMMResult(c=c, timer=timer, alloc=alloc, stats=stats)

@@ -1,0 +1,321 @@
+"""Retry/backoff policy engine: the resilient front door of the library.
+
+:func:`run_resilient` wraps one SpGEMM under three recovery mechanisms,
+applied in order of increasing cost:
+
+1. **Chunked re-execution** on :class:`~repro.errors.DeviceOOMError` —
+   the batch count doubles until the run fits the budget (or the tile-row
+   space cannot be split further).  The result stays bit-identical to the
+   single-shot product.
+2. **Exponential backoff** on :class:`~repro.errors.TransientKernelError`
+   (and :class:`~repro.errors.CommFailure`) — the modelled wait time is
+   charged to the result's timer and to the estimated runtime, because a
+   production system pays it for real.
+3. **Algorithm fallback** once retries are exhausted — the run degrades
+   down a ladder of progressively simpler methods (default
+   ``tilespgemm → nsparse_hash → gustavson``), trading speed for the
+   smaller attack surface of the simpler kernels.
+
+:class:`~repro.errors.InvalidInputError` is never retried — it is the
+caller's bug, re-raised immediately.  If the last rung also fails,
+:class:`~repro.errors.ResilienceExhausted` chains the final error.
+
+Every outcome is recorded in a :class:`ResilienceReport`: the attempt
+log, the faults seen, the batch count of the winning run, and whether the
+result came from a degraded (fallback) method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import (
+    DeviceOOMError,
+    InvalidInputError,
+    ResilienceExhausted,
+    TransientKernelError,
+)
+from repro.runtime.context import execution_context
+
+__all__ = [
+    "RetryPolicy",
+    "AttemptRecord",
+    "ResilienceReport",
+    "ResilientResult",
+    "run_resilient",
+]
+
+#: Default fallback ladder: the paper's method, then the NSPARSE-strategy
+#: hash baseline, then the reference row-row loop.
+DEFAULT_LADDER: Tuple[str, ...] = ("tilespgemm", "nsparse_hash", "gustavson")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs of the recovery behaviour.
+
+    Attributes
+    ----------
+    max_retries:
+        Transient-fault retries per ladder rung before falling back.
+    backoff_base_s, backoff_factor, max_backoff_s:
+        Exponential backoff: retry ``k`` waits
+        ``min(base * factor**k, max)`` modelled seconds.
+    ladder:
+        Method names tried in order; the first is the primary.
+    max_batches:
+        Upper bound on chunked re-execution's batch count.
+    """
+
+    max_retries: int = 3
+    backoff_base_s: float = 1e-3
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 1.0
+    ladder: Tuple[str, ...] = DEFAULT_LADDER
+    max_batches: int = 64
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One attempt of one ladder rung."""
+
+    method: str
+    batches: int
+    outcome: str  #: ``"ok"`` or the exception class name
+    error: str = ""  #: stringified error for failed attempts
+    backoff_s: float = 0.0  #: modelled wait charged before the *next* attempt
+
+
+@dataclass
+class ResilienceReport:
+    """What it took to produce the result."""
+
+    attempts: List[AttemptRecord] = field(default_factory=list)
+    faults: List[str] = field(default_factory=list)
+    batches: int = 1  #: batch count of the successful run
+    degraded: bool = False  #: True when a fallback method produced the result
+    method: str = ""  #: method that produced the result
+    backoff_s: float = 0.0  #: total modelled backoff wait
+    budget_bytes: Optional[int] = None
+
+    @property
+    def num_attempts(self) -> int:
+        """Total attempts across all rungs."""
+        return len(self.attempts)
+
+    @property
+    def num_faults(self) -> int:
+        """Faults observed across all rungs."""
+        return len(self.faults)
+
+
+@dataclass
+class ResilientResult:
+    """A product plus the story of how it was obtained.
+
+    Attributes
+    ----------
+    c:
+        The product: a :class:`~repro.core.tile_matrix.TileMatrix` when
+        the tiled path succeeded, a CSR matrix from a fallback method.
+    result:
+        The underlying ``TileSpGEMMResult`` / ``SpGEMMResult``.
+    report:
+        The :class:`ResilienceReport`.
+    estimate:
+        GPU cost-model estimate of the successful run (when ``device``
+        was given); excludes backoff.
+    estimated_seconds:
+        Estimate *including* the modelled backoff waits.
+    """
+
+    c: object
+    result: object
+    report: ResilienceReport
+    estimate: Optional[object] = None
+    estimated_seconds: Optional[float] = None
+
+    def c_csr(self):
+        """The product in CSR form regardless of which path produced it."""
+        return self.c.to_csr() if hasattr(self.c, "to_csr") else self.c
+
+
+def run_resilient(
+    a,
+    b,
+    device=None,
+    policy: Optional[RetryPolicy] = None,
+    budget_bytes: Optional[int] = None,
+    fault_plan=None,
+    **tile_kwargs,
+) -> ResilientResult:
+    """Multiply ``a @ b`` under the full recovery policy.
+
+    Parameters
+    ----------
+    a, b:
+        Operands as :class:`~repro.core.tile_matrix.TileMatrix` or CSR;
+        whichever form a rung needs is converted once and cached.
+    device:
+        Optional :class:`~repro.gpu.device.DeviceModel`; when given, the
+        result carries a cost-model estimate with backoff charged.  If
+        ``budget_bytes`` is unset, the device's Table-1 DRAM capacity
+        becomes the budget.
+    policy:
+        A :class:`RetryPolicy` (defaults apply when ``None``).
+    budget_bytes:
+        Logical device-memory budget enforced on every attempt.
+    fault_plan:
+        Optional :class:`~repro.runtime.faults.FaultPlan`; its counters
+        run cumulatively across attempts, so one-shot faults behave as
+        genuine transients.
+    **tile_kwargs:
+        Extra options for the tiled path (``tnnz``, methods, dtype...).
+
+    Raises
+    ------
+    InvalidInputError
+        Immediately, without retries.
+    ResilienceExhausted
+        When every ladder rung failed; chains the last underlying error.
+    """
+    from repro.baselines import get_algorithm  # deferred: registry import is heavy
+    from repro.core.tile_matrix import TileMatrix
+    from repro.core.tilespgemm import tile_spgemm
+    from repro.runtime.chunked import chunked_tile_spgemm
+
+    policy = policy or RetryPolicy()
+    if budget_bytes is None and device is not None:
+        budget_bytes = device.dram_capacity_bytes
+
+    at = a if isinstance(a, TileMatrix) else None
+    bt = b if isinstance(b, TileMatrix) else None
+    a_csr = None if isinstance(a, TileMatrix) else a
+    b_csr = None if isinstance(b, TileMatrix) else b
+
+    report = ResilienceReport(budget_bytes=budget_bytes)
+    last_error: Optional[BaseException] = None
+
+    for rung, method in enumerate(policy.ladder):
+        if method == "tilespgemm":
+            if at is None:
+                at = TileMatrix.from_csr(a)
+                bt = at if b is a else TileMatrix.from_csr(b)
+            max_split = max(at.num_tile_rows, 1)
+            batches = 1
+            retries = 0
+            while True:
+                try:
+                    if batches <= 1:
+                        res = tile_spgemm(
+                            at, bt, budget_bytes=budget_bytes, fault_plan=fault_plan, **tile_kwargs
+                        )
+                    else:
+                        res = chunked_tile_spgemm(
+                            at,
+                            bt,
+                            num_batches=batches,
+                            budget_bytes=budget_bytes,
+                            fault_plan=fault_plan,
+                            **tile_kwargs,
+                        )
+                    report.attempts.append(AttemptRecord(method, batches, "ok"))
+                    return _finish(res, res.c, method, rung, batches, report, device)
+                except InvalidInputError:
+                    raise
+                except DeviceOOMError as exc:
+                    last_error = exc
+                    _record_failure(report, method, batches, exc)
+                    if batches >= min(policy.max_batches, max_split):
+                        break  # cannot split further: fall down the ladder
+                    batches = min(batches * 2, policy.max_batches, max_split)
+                except TransientKernelError as exc:
+                    last_error = exc
+                    if retries >= policy.max_retries:
+                        _record_failure(report, method, batches, exc)
+                        break
+                    wait = _backoff(policy, retries)
+                    _record_failure(report, method, batches, exc, backoff_s=wait)
+                    report.backoff_s += wait
+                    retries += 1
+        else:
+            if a_csr is None:
+                a_csr = a.to_csr()
+                b_csr = a_csr if b is a else b.to_csr()
+            algorithm = get_algorithm(method)
+            retries = 0
+            while True:
+                try:
+                    with execution_context(budget_bytes=budget_bytes, fault_plan=fault_plan):
+                        res = algorithm(a_csr, b_csr)
+                    report.attempts.append(AttemptRecord(method, 1, "ok"))
+                    return _finish(res, res.c, method, rung, 1, report, device)
+                except InvalidInputError:
+                    raise
+                except DeviceOOMError as exc:
+                    # The baselines have no chunked mode; go down a rung.
+                    last_error = exc
+                    _record_failure(report, method, 1, exc)
+                    break
+                except TransientKernelError as exc:
+                    last_error = exc
+                    if retries >= policy.max_retries:
+                        _record_failure(report, method, 1, exc)
+                        break
+                    wait = _backoff(policy, retries)
+                    _record_failure(report, method, 1, exc, backoff_s=wait)
+                    report.backoff_s += wait
+                    retries += 1
+
+    raise ResilienceExhausted(
+        f"all fallbacks failed after {report.num_attempts} attempts "
+        f"(ladder: {' -> '.join(policy.ladder)})"
+    ) from last_error
+
+
+def _backoff(policy: RetryPolicy, retry: int) -> float:
+    return min(
+        policy.backoff_base_s * policy.backoff_factor**retry, policy.max_backoff_s
+    )
+
+
+def _record_failure(
+    report: ResilienceReport,
+    method: str,
+    batches: int,
+    exc: BaseException,
+    backoff_s: float = 0.0,
+) -> None:
+    report.attempts.append(
+        AttemptRecord(method, batches, type(exc).__name__, error=str(exc), backoff_s=backoff_s)
+    )
+    report.faults.append(f"{type(exc).__name__}: {exc}")
+
+
+def _finish(res, c, method: str, rung: int, batches: int, report: ResilienceReport, device):
+    report.method = method
+    report.degraded = rung > 0
+    report.batches = batches
+    if report.backoff_s > 0:
+        # The wait is real time a production run would spend; charge it.
+        res.timer.add("backoff", report.backoff_s)
+
+    estimate = None
+    estimated_seconds = None
+    if device is not None:
+        from repro.gpu.costmodel import estimate_run
+
+        if method == "tilespgemm":
+            estimate = estimate_run(res.as_spgemm_result(), device)
+        else:
+            estimate = estimate_run(res, device)
+        estimated_seconds = estimate.seconds + report.backoff_s
+
+    return ResilientResult(
+        c=c,
+        result=res,
+        report=report,
+        estimate=estimate,
+        estimated_seconds=estimated_seconds,
+    )

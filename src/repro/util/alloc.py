@@ -20,10 +20,24 @@ exactly the substitution DESIGN.md documents for the absent GPU.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.errors import DeviceOOMError
+
 __all__ = ["AllocationEvent", "AllocationTracker"]
+
+
+def _active_context():
+    """The innermost ``repro.runtime`` execution context, if any.
+
+    Looked up through ``sys.modules`` rather than imported: if the runtime
+    package was never imported, no context can possibly be active, and the
+    lazy lookup keeps this low-level module free of upward dependencies.
+    """
+    mod = sys.modules.get("repro.runtime.context")
+    return mod.current_context() if mod is not None else None
 
 
 @dataclass(frozen=True)
@@ -43,27 +57,57 @@ class AllocationTracker:
     The tracker is deliberately strict: freeing an unknown label or
     double-freeing raises, because those are real bugs in the algorithm's
     buffer lifecycle that a CUDA implementation would hit as well.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Optional device-memory budget.  An allocation that would push the
+        live total past the budget raises
+        :class:`~repro.errors.DeviceOOMError` *before* any state changes —
+        the tracker stays consistent, exactly like a failed ``cudaMalloc``.
+    use_context:
+        When true (the default), a budget or fault plan left unset is
+        inherited from the active :func:`repro.runtime.context.execution_context`.
+        The chunked executor sets this false when replaying batch ledgers
+        into a merged tracker, so injected faults are not double-counted.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, budget_bytes: Optional[int] = None, use_context: bool = True) -> None:
         self.events: List[AllocationEvent] = []
         self._live: Dict[str, int] = {}
         self.live_bytes: int = 0
         self.peak_bytes: int = 0
         self.total_allocated: int = 0
         self.current_phase: str = ""
+        self.fault_plan = None
+        if use_context:
+            ctx = _active_context()
+            if ctx is not None:
+                if budget_bytes is None:
+                    budget_bytes = ctx.budget_bytes
+                self.fault_plan = ctx.fault_plan
+        self.budget_bytes: Optional[int] = None if budget_bytes is None else int(budget_bytes)
 
     def set_phase(self, phase: str) -> None:
         """Tag subsequent events with the given phase name."""
         self.current_phase = phase
 
     def alloc(self, label: str, nbytes: int) -> None:
-        """Record the allocation of buffer ``label`` of ``nbytes`` bytes."""
+        """Record the allocation of buffer ``label`` of ``nbytes`` bytes.
+
+        Raises :class:`~repro.errors.DeviceOOMError` when a budget is set
+        and the allocation would exceed it; the tracker state is untouched
+        in that case, so a recovery layer can resume from a clean ledger.
+        """
         nbytes = int(nbytes)
         if nbytes < 0:
             raise ValueError(f"negative allocation for {label!r}: {nbytes}")
         if label in self._live:
             raise ValueError(f"buffer {label!r} allocated twice without free")
+        if self.fault_plan is not None:
+            self.fault_plan.on_alloc(label, nbytes)
+        if self.budget_bytes is not None and self.live_bytes + nbytes > self.budget_bytes:
+            raise DeviceOOMError(label, nbytes, self.live_bytes, self.budget_bytes)
         self._live[label] = nbytes
         self.live_bytes += nbytes
         self.total_allocated += nbytes

@@ -4,22 +4,26 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import InvalidInputError
+
 __all__ = ["check_dims_match", "check_square", "require_dtype"]
 
 
 def check_dims_match(a_shape, b_shape) -> None:
-    """Raise ``ValueError`` unless ``a_shape[1] == b_shape[0]`` (A @ B)."""
+    """Raise :class:`~repro.errors.InvalidInputError` (a ``ValueError``)
+    unless ``a_shape[1] == b_shape[0]`` (A @ B)."""
     if a_shape[1] != b_shape[0]:
-        raise ValueError(
+        raise InvalidInputError(
             f"dimension mismatch for SpGEMM: A is {a_shape[0]}x{a_shape[1]}, "
             f"B is {b_shape[0]}x{b_shape[1]}"
         )
 
 
 def check_square(shape) -> None:
-    """Raise ``ValueError`` unless the shape is square."""
+    """Raise :class:`~repro.errors.InvalidInputError` unless the shape is
+    square."""
     if shape[0] != shape[1]:
-        raise ValueError(f"expected a square matrix, got {shape[0]}x{shape[1]}")
+        raise InvalidInputError(f"expected a square matrix, got {shape[0]}x{shape[1]}")
 
 
 def require_dtype(array: np.ndarray, dtype, name: str) -> np.ndarray:

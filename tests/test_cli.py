@@ -3,7 +3,14 @@
 import pytest
 
 from repro.cli import main
-from repro.formats.mtx import write_mtx
+from repro.core import TileMatrix, tile_spgemm
+from repro.errors import (
+    EXIT_EXHAUSTED,
+    EXIT_FILE_NOT_FOUND,
+    EXIT_INVALID_INPUT,
+    EXIT_OOM,
+)
+from repro.formats.mtx import read_mtx, write_mtx
 from tests.conftest import random_csr
 
 
@@ -35,10 +42,6 @@ class TestCLI:
     def test_bad_device(self, mtx_file):
         assert main(["-d", "7", mtx_file]) == 2
 
-    def test_missing_file(self, tmp_path):
-        with pytest.raises(FileNotFoundError):
-            main([str(tmp_path / "missing.mtx")])
-
     def test_module_invocation(self, mtx_file):
         import subprocess
         import sys
@@ -51,3 +54,93 @@ class TestCLI:
         )
         assert proc.returncode == 0
         assert "check passed: yes" in proc.stdout
+
+
+class TestCLIErrorHandling:
+    """One distinct exit code and a one-line stderr message per error class."""
+
+    def _assert_one_line_error(self, capsys):
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) <= 2  # error line (+ faults note)
+        return err
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main([str(tmp_path / "missing.mtx")]) == EXIT_FILE_NOT_FOUND
+        err = self._assert_one_line_error(capsys)
+        assert "not found" in err
+
+    def test_malformed_header(self, tmp_path, capsys):
+        path = tmp_path / "bad.mtx"
+        path.write_text("not a MatrixMarket file\n1 1 1\n1 1 1.0\n")
+        assert main([str(path)]) == EXIT_INVALID_INPUT
+        err = self._assert_one_line_error(capsys)
+        assert "MatrixMarket" in err
+
+    def test_garbage_entries(self, tmp_path, capsys):
+        path = tmp_path / "garbage.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1.0\nx y z\n"
+        )
+        assert main([str(path)]) == EXIT_INVALID_INPUT
+        self._assert_one_line_error(capsys)
+
+    def test_truncated_entries(self, tmp_path, capsys):
+        path = tmp_path / "short.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate real general\n3 3 5\n1 1 1.0\n")
+        assert main([str(path)]) == EXIT_INVALID_INPUT
+        self._assert_one_line_error(capsys)
+
+    def test_dimension_mismatch(self, tmp_path, capsys):
+        path = tmp_path / "rect.mtx"
+        write_mtx(path, random_csr(40, 30, 0.1, seed=7))
+        assert main([str(path)]) == EXIT_INVALID_INPUT
+        err = self._assert_one_line_error(capsys)
+        assert "dimension mismatch" in err
+
+    def test_rectangular_ok_with_aat(self, tmp_path, capsys):
+        path = tmp_path / "rect.mtx"
+        write_mtx(path, random_csr(40, 30, 0.1, seed=7))
+        assert main(["-aat", "1", str(path)]) == 0
+        assert "check passed: yes" in capsys.readouterr().out
+
+    def test_budget_oom_exit_code(self, mtx_file, capsys):
+        assert main(["--memory-budget", "1K", mtx_file]) == EXIT_OOM
+        err = self._assert_one_line_error(capsys)
+        assert "OOM" in err
+
+    def test_bad_budget_is_usage_error(self, mtx_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--memory-budget", "lots", mtx_file])
+        assert excinfo.value.code == 2
+
+    def test_resilient_exhausted_exit_code(self, tmp_path, capsys):
+        # A budget too small for even a single tile row defeats chunking
+        # and the fallbacks alike.
+        path = tmp_path / "a.mtx"
+        write_mtx(path, random_csr(60, 60, 0.1, seed=191))
+        assert main(["--memory-budget", "64", "--resilient", str(path)]) == EXIT_EXHAUSTED
+        self._assert_one_line_error(capsys)
+
+
+class TestCLIResilient:
+    def test_resilient_no_faults(self, mtx_file, capsys):
+        assert main(["--resilient", mtx_file]) == 0
+        out = capsys.readouterr().out
+        assert "resilient run: method=tilespgemm" in out
+        assert "degraded=no" in out
+        assert "check passed: yes" in out
+
+    def test_resilient_recovers_from_budget(self, mtx_file, capsys):
+        # Measure the unbudgeted peak, then re-run under ~60 % of it: the
+        # resilient runtime must chunk and still pass the cross-check.
+        a = TileMatrix.from_csr(read_mtx(mtx_file).to_csr())
+        peak = tile_spgemm(a, a).alloc.peak_bytes
+        budget = str(int(peak * 0.6))
+        assert main(["--memory-budget", budget, "--resilient", mtx_file]) == 0
+        out = capsys.readouterr().out
+        assert "resilient run: method=tilespgemm" in out
+        assert "batches=" in out
+        assert "degraded=no" in out
+        assert "check passed: yes" in out

@@ -189,3 +189,148 @@ class TestPageRankEdges:
         mine = pagerank(adj, tol=1e-12)
         ref = nx.pagerank(g, alpha=0.85, tol=1e-12)
         assert np.allclose(mine, [ref[i] for i in range(60)], atol=1e-8)
+
+
+# ----------------------------------------------------------------------
+# Fault-injection hooks of the resilient runtime (repro.runtime)
+# ----------------------------------------------------------------------
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DeviceOOMError, TransientKernelError
+from repro.runtime import FaultPlan, run_resilient
+from repro.runtime.chunked import chunked_tile_spgemm
+
+#: Allocation labels of one tile_spgemm run, in event order (the 7 sites).
+TILE_ALLOC_SITES = [
+    "tilePtr_C",
+    "tileColIdx_C",
+    "tileNnz_C",
+    "rowPtr_C",
+    "mask_C",
+    "idx_C",
+    "val_C",
+]
+
+
+def _tiled_pair(seed=11, n=96, density=0.08):
+    a = TileMatrix.from_csr(random_csr(n, n, density, seed=seed))
+    return a
+
+
+def _assert_bit_identical(c1, c2):
+    """Exact structural and numeric equality of two TileMatrix results."""
+    assert c1.shape == c2.shape and c1.tile_size == c2.tile_size
+    for name in ("tileptr", "tilecolidx", "tilennz", "rowptr", "rowidx", "colidx", "mask"):
+        assert np.array_equal(getattr(c1, name), getattr(c2, name)), name
+    assert np.array_equal(c1.val, c2.val)  # bitwise: same accumulation order
+
+
+class TestOOMAtEveryAllocationSite:
+    """An injected OOM at each of tile_spgemm's allocation sites must
+    surface as a typed DeviceOOMError, and run_resilient must recover from
+    it with a chunked re-run that is bit-identical to the clean result."""
+
+    @pytest.mark.parametrize("site", range(1, len(TILE_ALLOC_SITES) + 1))
+    def test_oom_raises_at_each_site(self, site):
+        a = _tiled_pair()
+        plan = FaultPlan().oom_at_alloc(at=site)
+        with pytest.raises(DeviceOOMError) as excinfo:
+            tile_spgemm(a, a, fault_plan=plan)
+        assert excinfo.value.label == TILE_ALLOC_SITES[site - 1]
+        assert plan.num_fired == 1
+
+    @pytest.mark.parametrize("site", range(1, len(TILE_ALLOC_SITES) + 1))
+    def test_resilient_recovers_from_each_site(self, site):
+        a = _tiled_pair()
+        clean = tile_spgemm(a, a)
+        plan = FaultPlan().oom_at_alloc(at=site)
+        rr = run_resilient(a, a, fault_plan=plan)
+        # The one-shot OOM kills the first attempt; the retry runs chunked.
+        assert rr.report.batches > 1
+        assert not rr.report.degraded
+        assert rr.report.num_faults == 1
+        _assert_bit_identical(clean.c, rr.c)
+
+    def test_oom_label_match_filter(self):
+        a = _tiled_pair()
+        plan = FaultPlan().oom_at_alloc(match="val_C")
+        with pytest.raises(DeviceOOMError) as excinfo:
+            tile_spgemm(a, a, fault_plan=plan)
+        assert excinfo.value.label == "val_C"
+
+
+class TestTransientRetryExhaustion:
+    """A fault that keeps firing must exhaust the retries of a rung and
+    push the runtime down the fallback ladder."""
+
+    def test_plain_run_raises(self):
+        a = _tiled_pair()
+        with pytest.raises(TransientKernelError):
+            tile_spgemm(a, a, fault_plan=FaultPlan().transient_at_step("step2", every=1))
+
+    def test_exhaustion_falls_back_degraded(self):
+        a = _tiled_pair()
+        clean = tile_spgemm(a, a)
+        # Fires at every step named step2 — only the tiled path has one, so
+        # the hash fallback runs clean.
+        plan = FaultPlan().transient_at_step("step2", every=1)
+        rr = run_resilient(a, a, fault_plan=plan)
+        assert rr.report.degraded
+        assert rr.report.method == "nsparse_hash"
+        assert rr.report.backoff_s > 0
+        # Retries: max_retries failures + the final one before falling back.
+        assert rr.report.num_faults >= 2
+        assert rr.c_csr().allclose(clean.c.to_csr())
+
+    def test_single_transient_retried_in_place(self):
+        a = _tiled_pair()
+        clean = tile_spgemm(a, a)
+        rr = run_resilient(a, a, fault_plan=FaultPlan().transient_at_step("step3", at=1))
+        assert not rr.report.degraded
+        assert rr.report.method == "tilespgemm"
+        assert rr.report.backoff_s > 0
+        assert rr.result.timer.seconds.get("backoff", 0.0) == rr.report.backoff_s
+        _assert_bit_identical(clean.c, rr.c)
+
+    def test_seeded_probability_replays_identically(self):
+        firings = []
+        for _ in range(2):
+            plan = FaultPlan(seed=42).inject("transient", "alloc", probability=0.5)
+            a = _tiled_pair()
+            try:
+                tile_spgemm(a, a, fault_plan=plan)
+            except TransientKernelError:
+                pass
+            firings.append([(f.site, f.name, f.event_index) for f in plan.fired])
+        assert firings[0] == firings[1]
+
+
+class TestChunkedBitIdentity:
+    """Property: chunked/batched execution is bit-identical to single-shot
+    tile_spgemm — any tile size, any batch count."""
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        tile_size=st.sampled_from([4, 8, 16]),
+        num_batches=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=18, max_value=120),
+    )
+    def test_chunked_equals_single_shot(self, tile_size, num_batches, seed, n):
+        a = TileMatrix.from_csr(random_csr(n, n, 0.12, seed=seed), tile_size)
+        single = tile_spgemm(a, a)
+        chunked = chunked_tile_spgemm(a, a, num_batches=num_batches)
+        _assert_bit_identical(single.c, chunked.c)
+        chunked.c.validate()
+        assert chunked.stats["batches"] == min(num_batches, max(a.num_tile_rows, 1))
+
+    def test_chunked_peak_below_single_shot(self):
+        a = _tiled_pair(seed=3, n=160, density=0.1)
+        single = tile_spgemm(a, a)
+        chunked = chunked_tile_spgemm(a, a, num_batches=4)
+        assert chunked.alloc.peak_bytes < single.alloc.peak_bytes
+        # Scalar stats must agree exactly with the single-shot run.
+        for key in ("num_products", "flops", "num_c_tiles", "nnz_c", "symbolic_ops"):
+            assert chunked.stats[key] == single.stats[key], key
