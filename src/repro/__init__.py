@@ -37,6 +37,10 @@ Subpackages
     Resilient execution: typed errors, memory budgets, fault injection,
     chunked re-execution and the retry/fallback engine
     (:func:`repro.runtime.policy.run_resilient`).
+``repro.obs``
+    Observability: structured tracing (Chrome trace-event / Perfetto
+    export), kernel-counter metrics (Prometheus text export) and the
+    ambient :func:`repro.obs.obs_context` that turns them on.
 """
 
 from repro.core import (
@@ -80,10 +84,16 @@ __all__ = [
     "RetryPolicy",
     "ResilienceReport",
     "run_resilient",
+    # lazily resolved from repro.obs:
+    "MetricsRegistry",
+    "Tracer",
+    "make_obs",
+    "obs_context",
     "__version__",
 ]
 
 _RUNTIME_EXPORTS = {"FaultPlan", "RetryPolicy", "ResilienceReport", "run_resilient"}
+_OBS_EXPORTS = {"MetricsRegistry", "Tracer", "make_obs", "obs_context"}
 
 
 def __getattr__(name: str):
@@ -91,4 +101,8 @@ def __getattr__(name: str):
         import repro.runtime as _runtime
 
         return getattr(_runtime, name)
+    if name in _OBS_EXPORTS:
+        import repro.obs as _obs
+
+        return getattr(_obs, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

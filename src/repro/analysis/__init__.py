@@ -7,19 +7,33 @@ from repro.analysis.breakdown import (
     measured_breakdown,
 )
 from repro.analysis.plotting import ascii_scatter
+from repro.analysis.profiling import (
+    aggregate_spans,
+    breakdown_from_trace,
+    load_chrome_trace,
+    render_breakdown,
+    top_spans_report,
+    validate_chrome_trace,
+)
 from repro.analysis.regression import RegressionLine, fit_loglinear, geometric_mean
 from repro.analysis.reporting import format_speedup, format_table, paper_vs_measured_row
 
 __all__ = [
     "BUCKETS",
     "RegressionLine",
+    "aggregate_spans",
     "ascii_scatter",
+    "breakdown_from_trace",
     "estimated_breakdown",
     "fit_loglinear",
     "fractions",
     "format_speedup",
     "format_table",
     "geometric_mean",
+    "load_chrome_trace",
     "measured_breakdown",
     "paper_vs_measured_row",
+    "render_breakdown",
+    "top_spans_report",
+    "validate_chrome_trace",
 ]

@@ -14,6 +14,17 @@ Beyond the artifact, the CLI exposes the resilient runtime::
 
     python -m repro --memory-budget 64K --resilient path/to/matrix.mtx
 
+and the observability layer (see docs/OBSERVABILITY.md)::
+
+    python -m repro --trace t.json --metrics m.prom --profile path/to/matrix.mtx
+
+``--trace`` writes a Chrome trace-event file loadable in Perfetto,
+``--metrics`` a Prometheus text dump of the kernel counters, ``--profile``
+prints a top-spans wall-clock report, and ``--json`` replaces the
+eighteen-line artifact output with one machine-readable JSON document.
+Trace and metrics files are written even when the run fails, so a faulted
+run leaves its partial profile behind for inspection.
+
 Exit-code contract (one distinct code per error class; see
 :mod:`repro.errors`):
 
@@ -36,6 +47,7 @@ traceback.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -54,6 +66,7 @@ from repro.errors import (
 )
 from repro.formats.mtx import read_mtx
 from repro.gpu import RTX3060, RTX3090, estimate_run
+from repro.obs import MetricsRegistry, Tracer, emit_gpu_timeline, obs_context
 
 __all__ = ["main"]
 
@@ -112,6 +125,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run under the resilient runtime: chunked re-execution on OOM "
         "and the algorithm fallback ladder (see docs/RESILIENCE.md)",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.json",
+        help="write a Chrome trace-event profile of the run (open in "
+        "Perfetto or chrome://tracing); written even if the run fails",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="OUT.prom",
+        help="write kernel counters in Prometheus text format; written "
+        "even if the run fails",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a top-spans wall-clock report after the run (enables "
+        "internal tracing; goes to stderr under --json)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="replace the artifact output lines with one JSON document on "
+        "stdout (phase seconds and counts, resilience tallies, metrics)",
+    )
     parser.add_argument("matrix", help="path to a MatrixMarket (*.mtx) file")
     return parser
 
@@ -123,8 +162,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: unknown device ordinal {args.d}", file=sys.stderr)
         return EXIT_USAGE
     device = _DEVICES[args.d]
+
+    tracer = Tracer() if (args.trace is not None or args.profile) else None
+    metrics = MetricsRegistry() if args.metrics is not None else None
     try:
-        return _run(args, device)
+        if tracer is None and metrics is None:
+            return _run(args, device, None, None)
+        with obs_context(tracer=tracer, metrics=metrics):
+            return _run(args, device, tracer, metrics)
     except FileNotFoundError:
         print(f"error: matrix file not found: {args.matrix}", file=sys.stderr)
         return exit_code_for(FileNotFoundError())
@@ -137,21 +182,43 @@ def main(argv: Optional[List[str]] = None) -> int:
     ) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return exit_code_for(exc)
+    finally:
+        # Dump the profile artifacts even when the run raised above, so a
+        # faulted run still leaves its trace behind for inspection.
+        if tracer is not None and args.trace is not None:
+            tracer.write(args.trace)
+        if metrics is not None and args.metrics is not None:
+            metrics.write(args.metrics)
+        if args.profile and tracer is not None:
+            from repro.analysis.profiling import top_spans_report
+
+            report = top_spans_report(tracer.to_chrome_trace())
+            print(report, file=sys.stderr if args.json else sys.stdout)
 
 
-def _run(args, device) -> int:
+def _run(args, device, tracer, metrics) -> int:
+    doc: dict = {}
+
+    def say(line: str) -> None:
+        if not args.json:
+            print(line)
+
     t0 = time.perf_counter()
     coo = read_mtx(args.matrix)
     load_s = time.perf_counter() - t0
     a = coo.to_csr()
 
     # Lines 1-2: input matrix information.
-    print(f"matrix: {args.matrix}")
-    print(f"rows = {a.shape[0]}, cols = {a.shape[1]}, nnz = {a.nnz}")
+    say(f"matrix: {args.matrix}")
+    say(f"rows = {a.shape[0]}, cols = {a.shape[1]}, nnz = {a.nnz}")
     # Line 3: loading time.
-    print(f"file loading time: {load_s:.6f} s")
+    say(f"file loading time: {load_s:.6f} s")
     # Line 4: tile size.
-    print("tile size: 16 x 16")
+    say("tile size: 16 x 16")
+    doc["matrix"] = args.matrix
+    doc["rows"], doc["cols"], doc["nnz"] = a.shape[0], a.shape[1], a.nnz
+    doc["load_seconds"] = load_s
+    doc["tile_size"] = 16
 
     b = a.transpose() if args.aat else a
     if a.shape[1] != b.shape[0]:
@@ -160,28 +227,42 @@ def _run(args, device) -> int:
             "matrix (use -aat 1 for rectangular inputs)"
         )
     # Line 5: flop count.
-    print(f"#flops: {flops_of_product(a, b)}")
+    doc["flops"] = flops_of_product(a, b)
+    say(f"#flops: {doc['flops']}")
 
     # Line 6: CSR -> tiled conversion time.
     t0 = time.perf_counter()
     at = TileMatrix.from_csr(a)
     bt = at if not args.aat else TileMatrix.from_csr(b)
     conv_ms = (time.perf_counter() - t0) * 1e3
-    print(f"CSR->tiled conversion time: {conv_ms:.3f} ms")
+    say(f"CSR->tiled conversion time: {conv_ms:.3f} ms")
     # Line 7: tiled structure space.
-    print(f"tiled data structure space: {at.memory_bytes() / 1e6:.6f} MB")
+    say(f"tiled data structure space: {at.memory_bytes() / 1e6:.6f} MB")
+    doc["conversion_ms"] = conv_ms
+    doc["tiled_bytes"] = at.memory_bytes()
 
     if args.resilient:
         from repro.runtime import run_resilient
 
         rr = run_resilient(at, bt, device=device, budget_bytes=args.memory_budget)
         report = rr.report
-        print(
+        say(
             f"resilient run: method={report.method} attempts={report.num_attempts} "
             f"batches={report.batches} degraded={'yes' if report.degraded else 'no'}"
         )
         if report.faults:
-            print(f"faults recovered: {report.num_faults}")
+            say(f"faults recovered: {report.num_faults}")
+        doc["resilience"] = {
+            "method": report.method,
+            "attempts": report.num_attempts,
+            "failed_attempts": sum(1 for r in report.attempts if r.outcome != "ok"),
+            "retries": sum(1 for r in report.attempts if r.backoff_s > 0),
+            "fallbacks": max(0, len({r.method for r in report.attempts}) - 1),
+            "batches": report.batches,
+            "degraded": report.degraded,
+            "faults": report.num_faults,
+            "backoff_seconds": report.backoff_s,
+        }
         result = rr.result
         result_c_csr = rr.c_csr()
         timer, alloc = result.timer, result.alloc
@@ -199,22 +280,40 @@ def _run(args, device) -> int:
         num_tiles_c = result.c.num_tiles
         measured_gflops = result.gflops()
 
+    if tracer is not None and est is not None:
+        # Virtual-GPU tracks: lay the cost model's kernel schedule onto
+        # simulated SM slots in the same trace file.
+        emit_gpu_timeline(tracer, est, device=device)
+
     # Lines 8-14: step and allocation times.
     for phase in ("step1", "step2", "step3"):
-        print(f"{phase} time: {timer.seconds.get(phase, 0.0) * 1e3:.3f} ms")
-    print(f"memory allocation time: {timer.seconds.get('malloc', 0.0) * 1e3:.3f} ms")
-    print(f"peak logical device memory: {alloc.peak_bytes / 1e6:.6f} MB")
+        say(f"{phase} time: {timer.seconds.get(phase, 0.0) * 1e3:.3f} ms")
+    say(f"memory allocation time: {timer.seconds.get('malloc', 0.0) * 1e3:.3f} ms")
+    say(f"peak logical device memory: {alloc.peak_bytes / 1e6:.6f} MB")
     if est is not None:
-        print(f"estimated runtime on {device.name}: {est.seconds * 1e3:.3f} ms")
-        print(f"estimated throughput on {device.name}: {est.gflops:.2f} GFlops")
+        say(f"estimated runtime on {device.name}: {est.seconds * 1e3:.3f} ms")
+        say(f"estimated throughput on {device.name}: {est.gflops:.2f} GFlops")
+        doc["estimate"] = {
+            "device": device.name,
+            "seconds": est.seconds,
+            "gflops": est.gflops,
+        }
+    doc["phases"] = {
+        name: {"seconds": st.total, "count": st.count}
+        for name, st in timer.summary().items()
+    }
+    doc["peak_bytes"] = alloc.peak_bytes
 
     # Lines 15-17: result sizes and measured throughput.
-    print(f"number of tiles of C: {num_tiles_c}")
-    print(f"number of nonzeros of C: {nnz_c}")
-    print(
+    say(f"number of tiles of C: {num_tiles_c}")
+    say(f"number of nonzeros of C: {nnz_c}")
+    say(
         f"TileSpGEMM runtime: {timer.total * 1e3:.3f} ms "
         f"({measured_gflops:.3f} GFlops measured in Python)"
     )
+    doc["c"] = {"num_tiles": num_tiles_c, "nnz": nnz_c}
+    doc["runtime_seconds"] = timer.total
+    doc["measured_gflops"] = measured_gflops
 
     # Line 18: cross-check against another library's output.  When the
     # resilient runtime already degraded to the hash baseline, check
@@ -224,7 +323,13 @@ def _run(args, device) -> int:
         ref_method = "gustavson"
     reference = get_algorithm(ref_method)(a, b).c
     ok = result_c_csr.allclose(reference)
-    print(f"check passed: {'yes' if ok else 'NO'}")
+    say(f"check passed: {'yes' if ok else 'NO'}")
+    doc["check_passed"] = bool(ok)
+
+    if args.json:
+        if metrics is not None:
+            doc["metrics"] = metrics.snapshot()
+        print(json.dumps(doc, indent=2))
     return 0 if ok else 1
 
 

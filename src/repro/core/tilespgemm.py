@@ -29,6 +29,7 @@ from repro.core.step2 import SymbolicResult, step2_symbolic
 from repro.core.step3 import DEFAULT_TNNZ, NumericResult, step3_numeric
 from repro.core.tile_matrix import TILE, TileMatrix
 from repro.errors import InvalidInputError
+from repro.obs.context import current_obs
 from repro.runtime.context import execution_context, note_step
 from repro.util.alloc import AllocationTracker
 from repro.util.timing import PhaseTimer
@@ -174,54 +175,67 @@ def _tile_spgemm_under_context(
     timer = PhaseTimer()
     alloc = AllocationTracker()
     T = a.tile_size
+    obs = current_obs()
+    tracer = obs.tracer
 
-    # ------------------------------------------------------------- step 1
-    alloc.set_phase("step1")
-    note_step("step1")
-    with timer.phase("step1"):
-        layout = step1_tile_layout(
-            a.tile_pattern_csr(), b.tile_pattern_csr(), method=step1_method
-        )
-    with timer.phase("malloc"):
-        alloc.alloc("tilePtr_C", layout.tileptr.size * 4)
-        alloc.alloc("tileColIdx_C", layout.num_tiles * 4)
+    with tracer.span(
+        "tile_spgemm",
+        cat="algorithm",
+        shape_a=list(a.shape),
+        shape_b=list(b.shape),
+        nnz_a=int(a.nnz),
+        nnz_b=int(b.nnz),
+        tile_size=T,
+    ):
+        # --------------------------------------------------------- step 1
+        alloc.set_phase("step1")
+        note_step("step1")
+        with timer.phase("step1"), tracer.span("step1", cat="step", method=step1_method):
+            layout = step1_tile_layout(
+                a.tile_pattern_csr(), b.tile_pattern_csr(), method=step1_method
+            )
+        with timer.phase("malloc"), tracer.span("malloc", cat="step"):
+            alloc.alloc("tilePtr_C", layout.tileptr.size * 4)
+            alloc.alloc("tileColIdx_C", layout.num_tiles * 4)
 
-    # ------------------------------------------------------------- step 2
-    alloc.set_phase("step2")
-    note_step("step2")
-    with timer.phase("step2"):
-        if intersect_method == "expand":
-            pairs = enumerate_pairs_expand(a, b)
-        else:
-            pairs = enumerate_pairs_intersect(
+        # --------------------------------------------------------- step 2
+        alloc.set_phase("step2")
+        note_step("step2")
+        with timer.phase("step2"), tracer.span(
+            "step2", cat="step", method=intersect_method
+        ):
+            if intersect_method == "expand":
+                pairs = enumerate_pairs_expand(a, b)
+            else:
+                pairs = enumerate_pairs_intersect(
+                    a,
+                    b,
+                    c_tilerow=layout.tile_rowidx(),
+                    c_tilecol=layout.tilecolidx,
+                    method=intersect_method,
+                )
+            _check_layout_matches(layout, pairs)
+            sym = step2_symbolic(a, b, pairs)
+        with timer.phase("malloc"), tracer.span("malloc", cat="step"):
+            alloc.alloc("tileNnz_C", (pairs.num_c_tiles + 1) * 4)
+            alloc.alloc("rowPtr_C", pairs.num_c_tiles * T)
+            alloc.alloc("mask_C", pairs.num_c_tiles * T * sym.mask.dtype.itemsize)
+            alloc.alloc("idx_C", sym.nnz * 1)
+            alloc.alloc("val_C", sym.nnz * 8)
+
+        # --------------------------------------------------------- step 3
+        alloc.set_phase("step3")
+        note_step("step3")
+        with timer.phase("step3"), tracer.span("step3", cat="step", tnnz=tnnz):
+            num = step3_numeric(
                 a,
                 b,
-                c_tilerow=layout.tile_rowidx(),
-                c_tilecol=layout.tilecolidx,
-                method=intersect_method,
+                pairs,
+                sym,
+                tnnz=tnnz,
+                force_accumulator=force_accumulator,
+                value_dtype=value_dtype,
             )
-        _check_layout_matches(layout, pairs)
-        sym = step2_symbolic(a, b, pairs)
-    with timer.phase("malloc"):
-        alloc.alloc("tileNnz_C", (pairs.num_c_tiles + 1) * 4)
-        alloc.alloc("rowPtr_C", pairs.num_c_tiles * T)
-        alloc.alloc("mask_C", pairs.num_c_tiles * T * sym.mask.dtype.itemsize)
-        alloc.alloc("idx_C", sym.nnz * 1)
-        alloc.alloc("val_C", sym.nnz * 8)
-
-    # ------------------------------------------------------------- step 3
-    alloc.set_phase("step3")
-    note_step("step3")
-    with timer.phase("step3"):
-        num = step3_numeric(
-            a,
-            b,
-            pairs,
-            sym,
-            tnnz=tnnz,
-            force_accumulator=force_accumulator,
-            value_dtype=value_dtype,
-        )
 
     c = TileMatrix(
         (a.shape[0], b.shape[1]),
@@ -240,6 +254,8 @@ def _tile_spgemm_under_context(
         c = c.drop_empty_tiles()
 
     stats = collect_stats(a, b, pairs, sym, num, layout)
+    if obs.enabled:
+        _record_obs_metrics(obs.metrics, stats)
     return TileSpGEMMResult(
         c=c, timer=timer, alloc=alloc, stats=stats, pairs=pairs, symbolic=sym
     )
@@ -252,12 +268,36 @@ def tile_spgemm_from_csr(a_csr, b_csr, tile_size: int = TILE, **kwargs) -> TileS
     (the quantity Figure 12 compares against a single SpGEMM).
     """
     timer = PhaseTimer()
-    with timer.phase("format_conversion"):
+    with timer.phase("format_conversion"), current_obs().tracer.span(
+        "format_conversion", cat="step"
+    ):
         a = TileMatrix.from_csr(a_csr, tile_size)
         b = TileMatrix.from_csr(b_csr, tile_size)
     result = tile_spgemm(a, b, **kwargs)
     result.timer.merge(timer)
     return result
+
+
+def _record_obs_metrics(metrics, stats: Dict[str, object]) -> None:
+    """Record the algorithm's decision-point counters for one run.
+
+    Counter glossary in ``docs/OBSERVABILITY.md``; the values mirror the
+    ``collect_stats`` dictionary exactly (the observability tests assert
+    the equality), so the metrics are as deterministic as the run.
+    """
+    metrics.inc("tilespgemm_runs_total")
+    metrics.inc("tile_pairs_matched_total", int(np.asarray(stats["pairs_per_tile"]).sum()))
+    metrics.inc("atomic_or_ops_total", int(stats["symbolic_ops"]))
+    metrics.inc("atomic_add_ops_total", int(stats["num_products"]))
+    metrics.inc("accumulator_tiles_total", int(stats["sparse_tiles"]), kind="sparse")
+    metrics.inc("accumulator_tiles_total", int(stats["dense_tiles"]), kind="dense")
+    metrics.inc("mask_popcount_bits_total", int(stats["nnz_c"]))
+    metrics.inc("c_tiles_total", int(stats["num_c_tiles"]))
+    metrics.inc("c_nnz_total", int(stats["nnz_c"]))
+    metrics.inc("flops_total", int(stats["flops"]))
+    tile_nnz = np.asarray(stats["tile_nnz_counts"])
+    if tile_nnz.size:
+        metrics.observe_many("tile_nnz", tile_nnz.tolist())
 
 
 def _tileptr_from_rows(tile_rows: np.ndarray, num_tile_rows: int) -> np.ndarray:

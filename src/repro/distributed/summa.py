@@ -35,6 +35,7 @@ from repro.errors import CommFailure, InvalidInputError
 from repro.formats.csr import CSRMatrix
 from repro.gpu.costmodel import estimate_run
 from repro.gpu.device import RTX3090, DeviceModel
+from repro.obs.context import current_obs
 from repro.runtime.context import current_fault_plan
 
 __all__ = ["DistributedSpGEMMResult", "summa_spgemm", "csr_wire_bytes"]
@@ -133,6 +134,7 @@ def summa_spgemm(
         raise InvalidInputError("dimension mismatch")
     spgemm = get_algorithm(method)
     plan = fault_plan if fault_plan is not None else current_fault_plan()
+    obs = current_obs()
     retransmits = 0
 
     def transfer(tag: str, pi: int, pj: int, nbytes: int) -> float:
@@ -152,6 +154,15 @@ def summa_spgemm(
                     raise
                 retransmits += 1
                 extra += alpha_s + nbytes * beta_s_per_byte
+                if obs.enabled:
+                    obs.metrics.inc("summa_retransmits_total")
+                    obs.tracer.instant(
+                        "retransmit",
+                        cat="summa.comm",
+                        tag=tag,
+                        dest=[pi, pj],
+                        nbytes=nbytes,
+                    )
         return extra
 
     row_blocks = grid.row_blocks(a.shape[0])
@@ -187,40 +198,51 @@ def summa_spgemm(
             (p for p, (lo, hi) in enumerate(b_row_blocks) if lo <= k0 < max(hi, lo + 1)),
             grid.p_rows - 1,
         )
-        for pi in range(grid.p_rows):
-            a_blk = a_panels[pi]
-            a_bytes = csr_wire_bytes(a_blk)
-            for pj in range(grid.p_cols):
-                b_blk = b_panels[pj]
-                b_bytes = csr_wire_bytes(b_blk)
-                # Broadcast accounting: the A panel crosses the grid row
-                # and the B panel the grid column; the panel owner already
-                # holds its block and neither sends to nor receives from
-                # itself.
-                if grid.p_cols > 1 and pj != owner_pj:
-                    recv[pi, pj] += a_bytes
-                    sent[pi, owner_pj] += a_bytes
-                    comm[pi, pj] += alpha_s + a_bytes * beta_s_per_byte
-                    comm[pi, pj] += transfer(f"{k}:A", pi, pj, a_bytes)
-                    stage_volume += a_bytes
-                if grid.p_rows > 1 and pi != owner_pi:
-                    recv[pi, pj] += b_bytes
-                    sent[owner_pi, pj] += b_bytes
-                    comm[pi, pj] += alpha_s + b_bytes * beta_s_per_byte
-                    comm[pi, pj] += transfer(f"{k}:B", pi, pj, b_bytes)
-                    stage_volume += b_bytes
-
-                if a_blk.nnz == 0 or b_blk.nnz == 0:
-                    continue
-                res = spgemm(a_blk, b_blk)
-                flops += res.flops
-                compute[pi, pj] += estimate_run(res, device).seconds
-                key = (pi, pj)
-                if key in local_c:
-                    local_c[key] = add(local_c[key], res.c)
-                else:
-                    local_c[key] = res.c
+        # The stage runs as SUMMA does: the panel broadcasts complete,
+        # then every process multiplies the received panels.  The two
+        # sub-phases carry their own spans so a trace shows the paper's
+        # broadcast / multiply / retransmit split per stage.
+        with obs.tracer.span(f"stage {k}", cat="summa.stage", stage=k):
+            with obs.tracer.span("broadcast", cat="summa.comm", stage=k):
+                for pi in range(grid.p_rows):
+                    a_bytes = csr_wire_bytes(a_panels[pi])
+                    for pj in range(grid.p_cols):
+                        b_bytes = csr_wire_bytes(b_panels[pj])
+                        # Broadcast accounting: the A panel crosses the
+                        # grid row and the B panel the grid column; the
+                        # panel owner already holds its block and neither
+                        # sends to nor receives from itself.
+                        if grid.p_cols > 1 and pj != owner_pj:
+                            recv[pi, pj] += a_bytes
+                            sent[pi, owner_pj] += a_bytes
+                            comm[pi, pj] += alpha_s + a_bytes * beta_s_per_byte
+                            comm[pi, pj] += transfer(f"{k}:A", pi, pj, a_bytes)
+                            stage_volume += a_bytes
+                        if grid.p_rows > 1 and pi != owner_pi:
+                            recv[pi, pj] += b_bytes
+                            sent[owner_pi, pj] += b_bytes
+                            comm[pi, pj] += alpha_s + b_bytes * beta_s_per_byte
+                            comm[pi, pj] += transfer(f"{k}:B", pi, pj, b_bytes)
+                            stage_volume += b_bytes
+            with obs.tracer.span("multiply", cat="summa.compute", stage=k):
+                for pi in range(grid.p_rows):
+                    a_blk = a_panels[pi]
+                    for pj in range(grid.p_cols):
+                        b_blk = b_panels[pj]
+                        if a_blk.nnz == 0 or b_blk.nnz == 0:
+                            continue
+                        res = spgemm(a_blk, b_blk)
+                        flops += res.flops
+                        compute[pi, pj] += estimate_run(res, device).seconds
+                        key = (pi, pj)
+                        if key in local_c:
+                            local_c[key] = add(local_c[key], res.c)
+                        else:
+                            local_c[key] = res.c
         per_stage_volume.append(stage_volume)
+        if obs.enabled:
+            obs.metrics.inc("summa_stages_total")
+            obs.metrics.inc("summa_comm_bytes_total", stage_volume)
 
     # Assemble the global C from the owner blocks.
     from repro.formats.coo import COOMatrix

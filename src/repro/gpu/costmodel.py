@@ -127,6 +127,10 @@ class KernelEstimate:
     compute_s: float
     memory_s: float
     launch_s: float
+    #: Per-warp-task cycle counts the compute roof was scheduled from;
+    #: kept so the observability layer can replay the schedule onto
+    #: virtual SM/slot tracks (``repro.obs.gputrace.emit_gpu_timeline``).
+    task_cycles: Optional[np.ndarray] = None
 
     @property
     def seconds(self) -> float:
@@ -193,6 +197,7 @@ def _kernel(
         compute_s=_compute_seconds(task_cycles, device),
         memory_s=device.seconds_for_bytes(nbytes),
         launch_s=device.kernel_launch_us * 1e-6,
+        task_cycles=np.asarray(task_cycles, dtype=np.float64),
     )
 
 

@@ -15,10 +15,11 @@ within a task length by the standard list-scheduling argument.
 from __future__ import annotations
 
 import heapq
+from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["greedy_makespan", "imbalance_factor"]
+__all__ = ["greedy_makespan", "imbalance_factor", "TaskSchedule", "schedule_tasks"]
 
 #: Above this many tasks the exact heap simulation is skipped.
 _EXACT_LIMIT = 300_000
@@ -57,6 +58,64 @@ def greedy_makespan(durations: np.ndarray, workers: int, exact_limit: int = _EXA
         t = heapq.heappop(heap)
         heapq.heappush(heap, t + float(d))
     return max(heap)
+
+
+@dataclass
+class TaskSchedule:
+    """A full greedy schedule: per-task slot assignment and interval.
+
+    The same dispatch order :func:`greedy_makespan` simulates, but with
+    the assignment retained — the raw material the observability layer
+    lays out on virtual SM/slot tracks (see
+    :func:`repro.obs.gputrace.emit_gpu_timeline`).
+
+    Attributes
+    ----------
+    slot, start, end:
+        Per-task arrays (same order as the input durations): the worker
+        slot each task ran on and its [start, end) interval, in the same
+        unit as the durations (cycles).
+    workers:
+        Worker-slot count the schedule was built for.
+    """
+
+    slot: np.ndarray
+    start: np.ndarray
+    end: np.ndarray
+    workers: int
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last task (0.0 for an empty schedule)."""
+        return float(self.end.max()) if self.end.size else 0.0
+
+
+def schedule_tasks(durations: np.ndarray, workers: int) -> TaskSchedule:
+    """Greedy list schedule of ``durations`` with the assignment retained.
+
+    Identical dispatch rule to :func:`greedy_makespan`'s exact branch
+    (each task starts on the earliest-free slot, in submission order),
+    but always simulated exactly — callers wanting a timeline need the
+    per-task intervals, so there is no analytic shortcut to fall back
+    on.  Cost is ``O(n log w)``; cap the task count upstream when
+    tracing huge kernels.
+    """
+    durations = np.asarray(durations, dtype=np.float64)
+    if np.any(durations < 0):
+        raise ValueError("negative task duration")
+    workers = max(int(workers), 1)
+    n = durations.size
+    slot = np.zeros(n, dtype=np.int64)
+    start = np.zeros(n, dtype=np.float64)
+    end = np.zeros(n, dtype=np.float64)
+    heap = [(0.0, w) for w in range(workers)]
+    for i in range(n):
+        t, w = heapq.heappop(heap)
+        slot[i] = w
+        start[i] = t
+        end[i] = t + float(durations[i])
+        heapq.heappush(heap, (end[i], w))
+    return TaskSchedule(slot=slot, start=start, end=end, workers=workers)
 
 
 def imbalance_factor(durations: np.ndarray, workers: int) -> float:

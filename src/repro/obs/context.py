@@ -1,0 +1,110 @@
+"""Ambient observability context: which tracer/metrics a run reports to.
+
+Mirrors :mod:`repro.runtime.context`: the tracer and metrics registry
+must reach code many frames below the caller who configured them
+(``AllocationTracker`` events, baseline kernels, SUMMA broadcasts), so a
+run is wrapped in :func:`obs_context` and instrumented call sites consult
+:func:`current_obs`.
+
+Outside any context, :func:`current_obs` returns :data:`NULL_OBS` — a
+shared disabled context whose tracer and metrics are the no-op
+singletons, so un-instrumented runs pay one list lookup per site and
+nothing else.  Contexts nest; fields left ``None`` inherit from the
+enclosing context.
+
+Like the execution context, the stack is plain module state (the
+execution model is single-threaded by construction), and the module
+imports nothing from the rest of the package, so every layer can depend
+on it without cycles.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "ObsContext",
+    "NULL_OBS",
+    "obs_context",
+    "current_obs",
+    "make_obs",
+]
+
+
+@dataclass(frozen=True)
+class ObsContext:
+    """The observability sinks of one run.
+
+    Attributes
+    ----------
+    tracer:
+        A :class:`~repro.obs.trace.Tracer` or the no-op
+        :data:`~repro.obs.trace.NULL_TRACER`.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` or the no-op
+        :data:`~repro.obs.metrics.NULL_METRICS`.
+    enabled:
+        True when at least one sink is live.  Guarded call sites check
+        this before computing attribute/metric values so disabled runs
+        skip even the arithmetic.
+    """
+
+    tracer: object = NULL_TRACER
+    metrics: object = NULL_METRICS
+    enabled: bool = False
+
+
+#: The default, disabled context returned outside any ``obs_context``.
+NULL_OBS = ObsContext()
+
+_STACK: List[ObsContext] = []
+
+
+def current_obs() -> ObsContext:
+    """The innermost active context, or :data:`NULL_OBS`."""
+    return _STACK[-1] if _STACK else NULL_OBS
+
+
+def make_obs(trace: bool = True, metrics: bool = True, clock=None) -> ObsContext:
+    """Build an enabled context with fresh sinks.
+
+    Parameters
+    ----------
+    trace, metrics:
+        Which sinks to enable; a disabled sink stays the no-op singleton.
+    clock:
+        Optional deterministic clock forwarded to the tracer.
+    """
+    tracer = (Tracer(clock=clock) if clock is not None else Tracer()) if trace else NULL_TRACER
+    registry = MetricsRegistry() if metrics else NULL_METRICS
+    return ObsContext(tracer=tracer, metrics=registry, enabled=trace or metrics)
+
+
+@contextmanager
+def obs_context(
+    tracer: Optional[object] = None,
+    metrics: Optional[object] = None,
+) -> Iterator[ObsContext]:
+    """Activate an observability context for the ``with`` block.
+
+    Fields left ``None`` inherit from the enclosing context (the no-op
+    singletons at top level), so a library layer can add a metrics
+    registry without disturbing an outer tracer.
+    """
+    parent = current_obs()
+    if tracer is None:
+        tracer = parent.tracer
+    if metrics is None:
+        metrics = parent.metrics
+    enabled = not isinstance(tracer, NullTracer) or not isinstance(metrics, NullMetrics)
+    ctx = ObsContext(tracer=tracer, metrics=metrics, enabled=enabled)
+    _STACK.append(ctx)
+    try:
+        yield ctx
+    finally:
+        _STACK.pop()

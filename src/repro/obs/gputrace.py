@@ -1,0 +1,133 @@
+"""Virtual SM/warp-slot tracks: modelled GPU kernels as a Perfetto timeline.
+
+The GPU cost model list-schedules each kernel's warp tasks onto the
+device's issue slots (:func:`repro.gpu.scheduler.schedule_tasks`).  That
+schedule *is* a timeline: every task has a slot, a start and an end.
+This module lays those tasks out as Chrome trace-event complete spans on
+one virtual track per slot, under a per-device virtual process — open
+the exported file in Perfetto and the paper's load-imbalance story
+(§2.3: a few giant tasks pinning one slot while the rest idle) is
+directly visible.
+
+Kernels are placed back to back in estimate order, like the serialised
+kernel launches of the CUDA implementation.  Only the first
+``max_tracks`` slots are emitted (a *sampled* view — real devices have
+thousands of resident warps and Perfetto has finite pixels); a
+kernel-level summary span on the ``kernels`` track always covers the
+full duration, so totals stay honest.  Kernels with more than
+``max_tasks`` tasks get the summary span only.
+
+The scheduler import happens inside the function so :mod:`repro.obs`
+stays import-free of the rest of the package.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["emit_gpu_timeline"]
+
+#: Virtual-track caps: Perfetto renders fine up to a few dozen tracks.
+DEFAULT_MAX_TRACKS = 32
+DEFAULT_MAX_TASKS = 100_000
+
+
+def emit_gpu_timeline(
+    tracer,
+    estimate,
+    device=None,
+    t0_s: float = 0.0,
+    max_tracks: int = DEFAULT_MAX_TRACKS,
+    max_tasks: int = DEFAULT_MAX_TASKS,
+) -> float:
+    """Emit one modelled-GPU timeline for a cost-model estimate.
+
+    Parameters
+    ----------
+    tracer:
+        A live :class:`~repro.obs.trace.Tracer` (no-op tracers return
+        immediately).
+    estimate:
+        A :class:`~repro.gpu.costmodel.GPUEstimate`; kernels carrying
+        ``task_cycles`` get per-slot task spans, the rest only the
+        kernel-level summary span.
+    device:
+        The :class:`~repro.gpu.device.DeviceModel`; defaults to
+        ``estimate.device``.
+    t0_s:
+        Timeline origin in tracer-epoch seconds.
+    max_tracks, max_tasks:
+        Sampling caps (see module docstring).
+
+    Returns
+    -------
+    float
+        End time of the virtual timeline in tracer-epoch seconds.
+    """
+    if not getattr(tracer, "enabled", False):
+        return t0_s
+    from repro.gpu.scheduler import schedule_tasks
+
+    device = device if device is not None else estimate.device
+    pid = f"virtual-gpu ({device.name})"
+    cursor = t0_s
+    for kernel in estimate.kernels:
+        dur = kernel.seconds
+        tracer.add_complete(
+            kernel.name,
+            cursor,
+            dur,
+            pid=pid,
+            tid="kernels",
+            cat="gpu.kernel",
+            bound=kernel.bound,
+            compute_ms=kernel.compute_s * 1e3,
+            memory_ms=kernel.memory_s * 1e3,
+        )
+        task_cycles = getattr(kernel, "task_cycles", None)
+        if task_cycles is not None and 0 < len(task_cycles) <= max_tasks:
+            sched = schedule_tasks(task_cycles, device.issue_slots)
+            # Fit the scheduled (compute) portion inside the kernel span.
+            scale = 1.0 / device.clock_hz
+            if sched.makespan > 0:
+                scale *= min(dur / (sched.makespan / device.clock_hz), 1.0)
+            _emit_slot_tasks(tracer, kernel.name, sched, cursor, scale, pid, max_tracks)
+        cursor += dur
+    if estimate.malloc_s > 0:
+        tracer.add_complete(
+            "malloc",
+            cursor,
+            estimate.malloc_s,
+            pid=pid,
+            tid="kernels",
+            cat="gpu.malloc",
+        )
+        cursor += estimate.malloc_s
+    return cursor
+
+
+def _emit_slot_tasks(
+    tracer,
+    kernel_name: str,
+    sched,
+    t0_s: float,
+    seconds_per_cycle: float,
+    pid: str,
+    max_tracks: int,
+    min_duration_s: Optional[float] = None,
+) -> None:
+    """Emit the per-slot task spans of one scheduled kernel."""
+    width = len(str(max_tracks - 1))
+    for slot, start_c, end_c in zip(sched.slot, sched.start, sched.end):
+        if slot >= max_tracks:
+            continue
+        start_s = t0_s + float(start_c) * seconds_per_cycle
+        dur_s = float(end_c - start_c) * seconds_per_cycle
+        tracer.add_complete(
+            f"{kernel_name}.task",
+            start_s,
+            dur_s,
+            pid=pid,
+            tid=f"slot {int(slot):0{width}d}",
+            cat="gpu.task",
+        )

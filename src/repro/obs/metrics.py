@@ -1,0 +1,257 @@
+"""Counters, gauges and histograms for the algorithm's decision points.
+
+The cost model and the paper's figures are driven by *counts*: tile-pair
+intersections, AtomicOr/AtomicAdd scatter ops, sparse-vs-dense
+accumulator selections, allocation bytes, injected faults and retries.  A
+:class:`MetricsRegistry` collects those as named metrics with optional
+labels, offers a deterministic :meth:`~MetricsRegistry.snapshot` (plain
+dicts with sorted keys — byte-identical across runs whose event stream is
+deterministic, e.g. under a seeded
+:class:`~repro.runtime.faults.FaultPlan`), and renders the Prometheus
+text exposition format for scraping/diffing.
+
+Like :mod:`repro.obs.trace`, this module imports only the standard
+library, and the :data:`NULL_METRICS` singleton makes disabled metrics a
+pure no-op.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds: nnz-per-16x16-tile resolution
+#: (the adaptive-accumulator threshold 192 sits on a boundary on purpose).
+DEFAULT_BUCKETS: Tuple[float, ...] = (1, 4, 16, 48, 96, 144, 192, 224, 256)
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_key(name: str, labels: _LabelKey) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """A registry of counters, gauges and histograms.
+
+    All update methods take the metric name plus free-form keyword labels
+    (``metrics.inc("faults_injected_total", error="oom", site="alloc")``).
+    Metric kinds are tracked per name; using one name as two kinds raises.
+    """
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, _LabelKey], float] = {}
+        self._gauges: Dict[Tuple[str, _LabelKey], float] = {}
+        self._hists: Dict[Tuple[str, _LabelKey], Dict[str, Any]] = {}
+        self._kinds: Dict[str, str] = {}
+        self._help: Dict[str, str] = {}
+
+    # ------------------------------------------------------------- updates
+    def _check_kind(self, name: str, kind: str) -> None:
+        seen = self._kinds.setdefault(name, kind)
+        if seen != kind:
+            raise ValueError(f"metric {name!r} already registered as a {seen}")
+
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach a HELP string rendered in the Prometheus export."""
+        self._help[name] = help_text
+
+    def inc(self, name: str, value: float = 1, **labels: Any) -> None:
+        """Add ``value`` (default 1) to counter ``name``."""
+        if value < 0:
+            raise ValueError(f"counter {name!r} cannot decrease (value={value})")
+        self._check_kind(name, "counter")
+        key = (name, _label_key(labels))
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set gauge ``name`` to ``value``."""
+        self._check_kind(name, "gauge")
+        self._gauges[(name, _label_key(labels))] = value
+
+    def max_gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Raise gauge ``name`` to ``value`` if larger (peak tracking)."""
+        self._check_kind(name, "gauge")
+        key = (name, _label_key(labels))
+        if value > self._gauges.get(key, float("-inf")):
+            self._gauges[key] = value
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> None:
+        """Record one observation into histogram ``name``."""
+        self.observe_many(name, (value,), buckets=buckets, **labels)
+
+    def observe_many(
+        self,
+        name: str,
+        values: Iterable[float],
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> None:
+        """Record a batch of observations (one pass; array-friendly)."""
+        self._check_kind(name, "histogram")
+        key = (name, _label_key(labels))
+        hist = self._hists.get(key)
+        if hist is None:
+            hist = {
+                "buckets": tuple(float(b) for b in buckets),
+                "counts": [0] * (len(buckets) + 1),  # +inf bucket last
+                "sum": 0.0,
+                "count": 0,
+            }
+            self._hists[key] = hist
+        bounds = hist["buckets"]
+        counts: List[int] = hist["counts"]
+        for v in values:
+            v = float(v)
+            counts[bisect.bisect_left(bounds, v)] += 1
+            hist["sum"] += v
+            hist["count"] += 1
+
+    # ------------------------------------------------------------- queries
+    def counter_value(self, name: str, **labels: Any) -> float:
+        """Current value of a counter (0 if never incremented)."""
+        return self._counters.get((name, _label_key(labels)), 0)
+
+    def gauge_value(self, name: str, **labels: Any) -> Optional[float]:
+        """Current gauge value, or ``None`` if never set."""
+        return self._gauges.get((name, _label_key(labels)))
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Deterministic plain-dict view of every metric.
+
+        Keys are ``name`` or ``name{label="value",...}`` with labels
+        sorted; top-level sections are ``counters``, ``gauges`` and
+        ``histograms``.  Two runs with identical event streams produce
+        equal snapshots — the comparability property the resilience
+        tests pin down under a seeded fault plan.
+        """
+        counters = {
+            _render_key(n, lk): v for (n, lk), v in sorted(self._counters.items())
+        }
+        gauges = {_render_key(n, lk): v for (n, lk), v in sorted(self._gauges.items())}
+        hists = {}
+        for (n, lk), h in sorted(self._hists.items()):
+            hists[_render_key(n, lk)] = {
+                "buckets": {str(b): c for b, c in zip(h["buckets"], h["counts"])}
+                | {"+Inf": h["counts"][-1]},
+                "sum": h["sum"],
+                "count": h["count"],
+            }
+        return {"counters": counters, "gauges": gauges, "histograms": hists}
+
+    # ------------------------------------------------------------- export
+    def to_prometheus(self) -> str:
+        """Render the Prometheus text exposition format (v0.0.4)."""
+        lines: List[str] = []
+        by_name: Dict[str, List[Tuple[_LabelKey, float]]] = {}
+        for (n, lk), v in self._counters.items():
+            by_name.setdefault(n, []).append((lk, v))
+        for name in sorted(by_name):
+            if name in self._help:
+                lines.append(f"# HELP {name} {self._help[name]}")
+            lines.append(f"# TYPE {name} counter")
+            for lk, v in sorted(by_name[name]):
+                lines.append(f"{_render_key(name, lk)} {_num(v)}")
+        by_name = {}
+        for (n, lk), v in self._gauges.items():
+            by_name.setdefault(n, []).append((lk, v))
+        for name in sorted(by_name):
+            if name in self._help:
+                lines.append(f"# HELP {name} {self._help[name]}")
+            lines.append(f"# TYPE {name} gauge")
+            for lk, v in sorted(by_name[name]):
+                lines.append(f"{_render_key(name, lk)} {_num(v)}")
+        for (name, lk), h in sorted(self._hists.items()):
+            if name in self._help:
+                lines.append(f"# HELP {name} {self._help[name]}")
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            for bound, c in zip(h["buckets"], h["counts"]):
+                cumulative += c
+                key = _render_key(f"{name}_bucket", lk + (("le", _num(bound)),))
+                lines.append(f"{key} {cumulative}")
+            cumulative += h["counts"][-1]
+            key = _render_key(f"{name}_bucket", lk + (("le", "+Inf"),))
+            lines.append(f"{key} {cumulative}")
+            lines.append(f"{_render_key(name + '_sum', lk)} {_num(h['sum'])}")
+            lines.append(f"{_render_key(name + '_count', lk)} {h['count']}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write(self, path) -> None:
+        """Write :meth:`to_prometheus` to ``path``."""
+        with open(path, "w") as fh:
+            fh.write(self.to_prometheus())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, histograms={len(self._hists)})"
+        )
+
+
+def _num(v: float) -> str:
+    """Render a number the way Prometheus likes (ints without the dot)."""
+    f = float(v)
+    return str(int(f)) if f.is_integer() else repr(f)
+
+
+class NullMetrics:
+    """The disabled registry: every method is a no-op."""
+
+    enabled: bool = False
+
+    def describe(self, name: str, help_text: str) -> None:
+        pass
+
+    def inc(self, name: str, value: float = 1, **labels: Any) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        pass
+
+    def max_gauge(self, name: str, value: float, **labels: Any) -> None:
+        pass
+
+    def observe(self, name: str, value: float, **kwargs: Any) -> None:
+        pass
+
+    def observe_many(self, name: str, values: Iterable[float], **kwargs: Any) -> None:
+        pass
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        return 0
+
+    def gauge_value(self, name: str, **labels: Any) -> Optional[float]:
+        return None
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def to_prometheus(self) -> str:
+        return ""
+
+
+#: Singleton used by the default (disabled) observability context.
+NULL_METRICS = NullMetrics()

@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.tile_matrix import TileMatrix
 from repro.core.tilespgemm import TileSpGEMMResult, tile_spgemm
 from repro.errors import InvalidInputError
+from repro.obs.context import current_obs
 from repro.util.alloc import AllocationTracker
 from repro.util.timing import PhaseTimer
 
@@ -141,21 +142,32 @@ def chunked_tile_spgemm(
         result.stats["batches"] = 1
         return result
 
+    obs = current_obs()
     bounds = np.linspace(0, num_tile_rows, num_batches + 1).astype(np.int64)
     batch_results: List[TileSpGEMMResult] = []
-    for k in range(num_batches):
-        r0, r1 = int(bounds[k]), int(bounds[k + 1])
-        a_k = slice_tile_rows(a, r0, r1)
-        batch_results.append(
-            tile_spgemm(
-                a_k,
-                b,
-                keep_empty_tiles=True,
-                budget_bytes=budget_bytes,
-                fault_plan=fault_plan,
-                **kwargs,
-            )
-        )
+    with obs.tracer.span(
+        "chunked_tile_spgemm", cat="chunked", batches=num_batches
+    ):
+        for k in range(num_batches):
+            r0, r1 = int(bounds[k]), int(bounds[k + 1])
+            a_k = slice_tile_rows(a, r0, r1)
+            with obs.tracer.span(
+                f"batch {k + 1}/{num_batches}",
+                cat="chunked.batch",
+                tile_rows=[r0, r1],
+            ):
+                batch_results.append(
+                    tile_spgemm(
+                        a_k,
+                        b,
+                        keep_empty_tiles=True,
+                        budget_bytes=budget_bytes,
+                        fault_plan=fault_plan,
+                        **kwargs,
+                    )
+                )
+            if obs.enabled:
+                obs.metrics.inc("chunked_batches_total")
 
     return _stitch(batch_results, a, b, keep_empty_tiles)
 

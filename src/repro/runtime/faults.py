@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.errors import CommFailure, DeviceOOMError, TransientKernelError
+from repro.obs.context import current_obs
 
 __all__ = ["FaultSpec", "FiredFault", "FaultPlan"]
 
@@ -189,6 +190,14 @@ class FaultPlan:
             if fire:
                 spec.fired += 1
                 self.fired.append(FiredFault(spec.error, site, name, self.counts[site]))
+                obs = current_obs()
+                if obs.enabled:
+                    obs.metrics.inc(
+                        "faults_injected_total", error=spec.error, site=site
+                    )
+                    obs.tracer.instant(
+                        "inject:" + spec.error, cat="fault", site=site, event=name
+                    )
                 raise self._make_error(spec, name, nbytes)
 
     def _make_error(self, spec: FaultSpec, name: str, nbytes: int) -> Exception:

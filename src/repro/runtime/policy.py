@@ -36,6 +36,7 @@ from repro.errors import (
     ResilienceExhausted,
     TransientKernelError,
 )
+from repro.obs.context import current_obs
 from repro.runtime.context import execution_context
 
 __all__ = [
@@ -196,8 +197,32 @@ def run_resilient(
 
     report = ResilienceReport(budget_bytes=budget_bytes)
     last_error: Optional[BaseException] = None
+    obs = current_obs()
+
+    with obs.tracer.span(
+        "run_resilient", cat="resilience", ladder=list(policy.ladder)
+    ):
+        return _run_ladder(
+            a, b, at, bt, a_csr, b_csr, device, policy, budget_bytes,
+            fault_plan, report, last_error, obs, tile_kwargs,
+        )
+
+
+def _run_ladder(
+    a, b, at, bt, a_csr, b_csr, device, policy, budget_bytes,
+    fault_plan, report, last_error, obs, tile_kwargs,
+):
+    """The ladder walk of :func:`run_resilient` (split out so the whole
+    recovery story nests under one ``run_resilient`` span)."""
+    from repro.baselines import get_algorithm  # deferred: registry import is heavy
+    from repro.core.tile_matrix import TileMatrix
+    from repro.core.tilespgemm import tile_spgemm
+    from repro.runtime.chunked import chunked_tile_spgemm
 
     for rung, method in enumerate(policy.ladder):
+        if rung > 0 and obs.enabled:
+            obs.metrics.inc("resilience_fallbacks_total", method=method)
+            obs.tracer.instant("fallback", cat="resilience", method=method, rung=rung)
         if method == "tilespgemm":
             if at is None:
                 at = TileMatrix.from_csr(a)
@@ -207,19 +232,26 @@ def run_resilient(
             retries = 0
             while True:
                 try:
-                    if batches <= 1:
-                        res = tile_spgemm(
-                            at, bt, budget_bytes=budget_bytes, fault_plan=fault_plan, **tile_kwargs
-                        )
-                    else:
-                        res = chunked_tile_spgemm(
-                            at,
-                            bt,
-                            num_batches=batches,
-                            budget_bytes=budget_bytes,
-                            fault_plan=fault_plan,
-                            **tile_kwargs,
-                        )
+                    with obs.tracer.span(
+                        "attempt:" + method,
+                        cat="resilience",
+                        rung=rung,
+                        batches=batches,
+                        attempt=report.num_attempts + 1,
+                    ):
+                        if batches <= 1:
+                            res = tile_spgemm(
+                                at, bt, budget_bytes=budget_bytes, fault_plan=fault_plan, **tile_kwargs
+                            )
+                        else:
+                            res = chunked_tile_spgemm(
+                                at,
+                                bt,
+                                num_batches=batches,
+                                budget_bytes=budget_bytes,
+                                fault_plan=fault_plan,
+                                **tile_kwargs,
+                            )
                     report.attempts.append(AttemptRecord(method, batches, "ok"))
                     return _finish(res, res.c, method, rung, batches, report, device)
                 except InvalidInputError:
@@ -247,8 +279,15 @@ def run_resilient(
             retries = 0
             while True:
                 try:
-                    with execution_context(budget_bytes=budget_bytes, fault_plan=fault_plan):
-                        res = algorithm(a_csr, b_csr)
+                    with obs.tracer.span(
+                        "attempt:" + method,
+                        cat="resilience",
+                        rung=rung,
+                        batches=1,
+                        attempt=report.num_attempts + 1,
+                    ):
+                        with execution_context(budget_bytes=budget_bytes, fault_plan=fault_plan):
+                            res = algorithm(a_csr, b_csr)
                     report.attempts.append(AttemptRecord(method, 1, "ok"))
                     return _finish(res, res.c, method, rung, 1, report, device)
                 except InvalidInputError:
@@ -268,6 +307,8 @@ def run_resilient(
                     report.backoff_s += wait
                     retries += 1
 
+    if obs.enabled:
+        obs.metrics.inc("resilience_exhausted_total")
     raise ResilienceExhausted(
         f"all fallbacks failed after {report.num_attempts} attempts "
         f"(ladder: {' -> '.join(policy.ladder)})"
@@ -291,12 +332,32 @@ def _record_failure(
         AttemptRecord(method, batches, type(exc).__name__, error=str(exc), backoff_s=backoff_s)
     )
     report.faults.append(f"{type(exc).__name__}: {exc}")
+    obs = current_obs()
+    if obs.enabled:
+        kind = type(exc).__name__
+        obs.metrics.inc("resilience_failed_attempts_total", method=method, error=kind)
+        obs.tracer.instant(
+            "fault:" + kind,
+            cat="resilience",
+            method=method,
+            batches=batches,
+            backoff_s=backoff_s,
+        )
+        if backoff_s > 0:
+            obs.metrics.inc("resilience_retries_total", method=method)
+            obs.metrics.inc("resilience_backoff_seconds_total", backoff_s)
 
 
 def _finish(res, c, method: str, rung: int, batches: int, report: ResilienceReport, device):
     report.method = method
     report.degraded = rung > 0
     report.batches = batches
+    obs = current_obs()
+    if obs.enabled:
+        obs.metrics.inc("resilience_runs_total", method=method)
+        obs.metrics.inc("resilience_attempts_total", report.num_attempts)
+        if report.degraded:
+            obs.metrics.inc("resilience_degraded_runs_total", method=method)
     if report.backoff_s > 0:
         # The wait is real time a production run would spend; charge it.
         res.timer.add("backoff", report.backoff_s)

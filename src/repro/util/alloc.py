@@ -40,6 +40,15 @@ def _active_context():
     return mod.current_context() if mod is not None else None
 
 
+def _active_obs():
+    """The enabled observability context, if any (same lazy idiom)."""
+    mod = sys.modules.get("repro.obs.context")
+    if mod is None:
+        return None
+    obs = mod.current_obs()
+    return obs if obs.enabled else None
+
+
 @dataclass(frozen=True)
 class AllocationEvent:
     """One allocation or free in the logical device-memory log."""
@@ -115,6 +124,12 @@ class AllocationTracker:
         self.events.append(
             AllocationEvent("alloc", label, nbytes, self.current_phase, self.live_bytes)
         )
+        obs = _active_obs()
+        if obs is not None:
+            obs.metrics.inc("device_alloc_bytes_total", nbytes)
+            obs.metrics.inc("device_alloc_events_total")
+            obs.metrics.max_gauge("device_peak_live_bytes", self.peak_bytes)
+            obs.tracer.counter("device_live_bytes", self.live_bytes)
 
     def alloc_array(self, label: str, array) -> None:
         """Record an allocation sized from a NumPy array's ``nbytes``."""
@@ -129,6 +144,9 @@ class AllocationTracker:
         self.events.append(
             AllocationEvent("free", label, nbytes, self.current_phase, self.live_bytes)
         )
+        obs = _active_obs()
+        if obs is not None:
+            obs.tracer.counter("device_live_bytes", self.live_bytes)
 
     def free_all(self) -> None:
         """Release every live buffer (end-of-algorithm cleanup)."""

@@ -14,7 +14,44 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator
 
-__all__ = ["PhaseTimer"]
+__all__ = ["PhaseStats", "PhaseTimer"]
+
+
+class PhaseStats:
+    """Summary of one phase's recorded durations.
+
+    Attributes
+    ----------
+    name:
+        The phase name.
+    total:
+        Accumulated seconds across all entries.
+    count:
+        Number of entries.
+    min, max:
+        Shortest / longest single entry in seconds (``0.0`` when the phase
+        was never entered).
+    """
+
+    __slots__ = ("name", "total", "count", "min", "max")
+
+    def __init__(self, name: str, total: float, count: int, min_s: float, max_s: float) -> None:
+        self.name = name
+        self.total = total
+        self.count = count
+        self.min = min_s
+        self.max = max_s
+
+    @property
+    def mean(self) -> float:
+        """Average seconds per entry (``0.0`` for an empty phase)."""
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PhaseStats({self.name!r}, total={self.total:.6f}s, count={self.count}, "
+            f"min={self.min:.6f}s, max={self.max:.6f}s)"
+        )
 
 
 class PhaseTimer:
@@ -24,6 +61,14 @@ class PhaseTimer:
     allowed and accounted independently (the outer phase includes the inner
     one, exactly like CUDA event ranges around nested kernels would).
 
+    .. warning::
+       Because nested phases are accounted independently, :attr:`total`
+       **double-counts** time spent inside a nested phase: the inner
+       phase's seconds are also part of the outer phase's seconds.  For a
+       breakdown of *disjoint* buckets, time sibling phases at one level
+       (as the pipeline's ``step1``/``step2``/``step3``/``malloc`` phases
+       are) or subtract the inner phases yourself.
+
     Examples
     --------
     >>> timer = PhaseTimer()
@@ -31,11 +76,21 @@ class PhaseTimer:
     ...     pass
     >>> "step1" in timer.seconds
     True
+
+    Nested phases overlap, so ``total`` exceeds real wall-clock time:
+
+    >>> t = PhaseTimer()
+    >>> t.add("outer", 2.0)   # outer phase, includes the inner one
+    >>> t.add("inner", 0.5)   # also counted inside "outer"
+    >>> t.total               # 2.5 "phase-seconds" for 2.0s of wall clock
+    2.5
     """
 
     def __init__(self) -> None:
         self.seconds: Dict[str, float] = {}
         self._counts: Dict[str, int] = {}
+        self._min: Dict[str, float] = {}
+        self._max: Dict[str, float] = {}
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -45,23 +100,54 @@ class PhaseTimer:
             yield
         finally:
             elapsed = time.perf_counter() - start
-            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
-            self._counts[name] = self._counts.get(name, 0) + 1
+            self._record(name, elapsed)
 
     def add(self, name: str, seconds: float) -> None:
         """Manually credit ``seconds`` to phase ``name``."""
         if seconds < 0:
             raise ValueError("cannot add negative time")
-        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+        self._record(name, seconds)
+
+    def _record(self, name: str, elapsed: float) -> None:
+        self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
         self._counts[name] = self._counts.get(name, 0) + 1
+        if name not in self._min or elapsed < self._min[name]:
+            self._min[name] = elapsed
+        if name not in self._max or elapsed > self._max[name]:
+            self._max[name] = elapsed
 
     def count(self, name: str) -> int:
         """Number of times phase ``name`` was entered."""
         return self._counts.get(name, 0)
 
+    def stats(self, name: str) -> PhaseStats:
+        """Min/max/mean summary for phase ``name`` (zeros if never entered)."""
+        return PhaseStats(
+            name,
+            self.seconds.get(name, 0.0),
+            self._counts.get(name, 0),
+            self._min.get(name, 0.0),
+            self._max.get(name, 0.0),
+        )
+
+    def summary(self) -> Dict[str, PhaseStats]:
+        """Per-phase :class:`PhaseStats`, in phase insertion order."""
+        return {name: self.stats(name) for name in self.seconds}
+
+    def reset(self) -> None:
+        """Forget all recorded phases; the timer is reusable afterwards."""
+        self.seconds.clear()
+        self._counts.clear()
+        self._min.clear()
+        self._max.clear()
+
     @property
     def total(self) -> float:
-        """Sum of all phase times in seconds."""
+        """Sum of all phase times in seconds.
+
+        Nested phases overlap (see the class warning), so this is the sum
+        of *phase-seconds*, not necessarily elapsed wall-clock time.
+        """
         return sum(self.seconds.values())
 
     def fractions(self) -> Dict[str, float]:
@@ -72,11 +158,24 @@ class PhaseTimer:
         return {name: sec / total for name, sec in self.seconds.items()}
 
     def merge(self, other: "PhaseTimer") -> None:
-        """Fold another timer's accumulated phases into this one."""
+        """Fold another timer's accumulated phases into this one.
+
+        Totals and counts add; min/max fold as the min/max over both
+        timers.  Phase ordering is deterministic: this timer's existing
+        phases keep their positions, and ``other``'s new phases append in
+        ``other``'s insertion order — so merging the same sequence of
+        timers always yields the same ``seconds`` key order.
+        """
         for name, sec in other.seconds.items():
             self.seconds[name] = self.seconds.get(name, 0.0) + sec
         for name, cnt in other._counts.items():
             self._counts[name] = self._counts.get(name, 0) + cnt
+        for name, lo in other._min.items():
+            if name not in self._min or lo < self._min[name]:
+                self._min[name] = lo
+        for name, hi in other._max.items():
+            if name not in self._max or hi > self._max[name]:
+                self._max[name] = hi
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = ", ".join(f"{k}={v * 1e3:.3f}ms" for k, v in sorted(self.seconds.items()))

@@ -124,6 +124,73 @@ class TestCLIErrorHandling:
         self._assert_one_line_error(capsys)
 
 
+class TestCLIObservability:
+    def test_trace_flag_writes_valid_chrome_trace(self, mtx_file, tmp_path, capsys):
+        from repro.analysis.profiling import breakdown_from_trace, load_chrome_trace
+
+        trace = tmp_path / "t.json"
+        assert main(["--trace", str(trace), mtx_file]) == 0
+        doc = load_chrome_trace(str(trace))  # validates the schema
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {"tile_spgemm", "step1", "step2", "step3"} <= names
+        bd = breakdown_from_trace(doc)
+        assert sum(bd.values()) > 0
+
+    def test_metrics_flag_writes_prometheus(self, mtx_file, tmp_path, capsys):
+        prom = tmp_path / "m.prom"
+        assert main(["--metrics", str(prom), mtx_file]) == 0
+        text = prom.read_text()
+        assert "# TYPE atomic_add_ops_total counter" in text
+        assert "accumulator_tiles_total{kind=" in text
+        # the main run plus the cost-model adapter's run
+        assert "tilespgemm_runs_total 2" in text
+
+    def test_trace_written_even_when_run_fails(self, mtx_file, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        assert main(["--memory-budget", "1K", "--trace", str(trace), mtx_file]) == EXIT_OOM
+        from repro.analysis.profiling import load_chrome_trace
+
+        assert load_chrome_trace(str(trace))["traceEvents"]
+
+    def test_profile_flag_prints_report(self, mtx_file, capsys):
+        assert main(["--profile", mtx_file]) == 0
+        out = capsys.readouterr().out
+        assert "top spans by total wall time:" in out
+        assert "tile_spgemm" in out
+
+    def test_json_output(self, mtx_file, capsys):
+        import json
+
+        assert main(["--json", mtx_file]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out)  # stdout is pure JSON
+        assert doc["check_passed"] is True
+        assert doc["rows"] == 60 and doc["nnz"] > 0
+        for phase in ("step1", "step2", "step3"):
+            assert doc["phases"][phase]["count"] >= 1
+            assert doc["phases"][phase]["seconds"] >= 0
+
+    def test_json_resilient_tallies(self, mtx_file, capsys):
+        import json
+
+        assert main(["--json", "--resilient", mtx_file]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        res = doc["resilience"]
+        assert res["method"] == "tilespgemm"
+        assert res["attempts"] >= 1
+        assert res["failed_attempts"] == 0
+        assert res["retries"] == 0 and res["fallbacks"] == 0
+        assert res["degraded"] is False
+
+    def test_json_with_metrics_embeds_snapshot(self, mtx_file, tmp_path, capsys):
+        import json
+
+        prom = tmp_path / "m.prom"
+        assert main(["--json", "--metrics", str(prom), mtx_file]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["metrics"]["counters"]["tilespgemm_runs_total"] >= 1
+
+
 class TestCLIResilient:
     def test_resilient_no_faults(self, mtx_file, capsys):
         assert main(["--resilient", mtx_file]) == 0
