@@ -10,8 +10,9 @@ scaling efficiency the single-GPU algorithm never has to pay for.
 
 import pytest
 
-from benchmarks.conftest import save_and_print
+from benchmarks.conftest import save_and_print, save_series_json
 from repro.analysis import format_table
+from repro.bench.schema import make_series
 from repro.distributed import ProcessGrid, summa_spgemm
 from repro.matrices import generators
 
@@ -61,6 +62,21 @@ def test_distributed_report(benchmark, scaling):
         title="Extension: sparse SUMMA strong scaling (alpha-beta interconnect model)",
     )
     benchmark.pedantic(save_and_print, args=("ext_distributed", text), rounds=1, iterations=1)
+    series = [
+        make_series(
+            "banded_8000", f"summa_{v['p']}p", "aa",
+            wall_seconds=[v["critical_ms"] / 1e3],
+            extra={
+                "comm_mb": v["comm_mb"],
+                "comm_frac": v["comm_frac"],
+                "speedup": v["speedup"],
+                "efficiency": v["efficiency"],
+                "imbalance": v["imbalance"],
+            },
+        )
+        for v in scaling.values()
+    ]
+    save_series_json("ext_distributed", series, suite="ext_distributed")
 
 
 def test_shape_communication_grows(scaling):

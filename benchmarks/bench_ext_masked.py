@@ -11,9 +11,10 @@ import time
 
 import pytest
 
-from benchmarks.conftest import save_and_print
+from benchmarks.conftest import save_and_print, save_series_json
 from repro.analysis import format_table
 from repro.apps import hadamard, lower_triangle
+from repro.bench.schema import make_series
 from repro.core import TileMatrix, masked_tile_spgemm, tile_spgemm
 from repro.matrices import generators
 
@@ -75,6 +76,25 @@ def test_masked_report(benchmark, workloads):
         title="Extension: masked SpGEMM (triangle mask) vs multiply-then-Hadamard",
     )
     benchmark.pedantic(save_and_print, args=("ext_masked", text), rounds=1, iterations=1)
+    series = []
+    for name, v in workloads.items():
+        series.append(
+            make_series(
+                name, "two_phase", "masked",
+                wall_seconds=[v["two_phase_ms"] / 1e3],
+                nnz_c=v["plain_nnz"],
+                extra={"tiles": v["plain_tiles"]},
+            )
+        )
+        series.append(
+            make_series(
+                name, "masked_fused", "masked",
+                wall_seconds=[v["fused_ms"] / 1e3],
+                nnz_c=v["fused_nnz"],
+                extra={"tiles": v["fused_tiles"]},
+            )
+        )
+    save_series_json("ext_masked", series, suite="ext_masked")
 
 
 def test_shape_mask_prunes_candidates(workloads):

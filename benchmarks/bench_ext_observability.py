@@ -22,8 +22,9 @@ import time
 
 import pytest
 
-from benchmarks.conftest import fig6_matrix_cap, save_and_print, tiled_of
+from benchmarks.conftest import fig6_matrix_cap, save_and_print, save_series_json, tiled_of
 from repro.analysis import format_table, geometric_mean
+from repro.bench.schema import make_series
 from repro.core import tile_spgemm
 from repro.matrices import representative_18
 from repro.obs import make_obs, obs_context
@@ -102,6 +103,17 @@ def test_observability_report(benchmark, overhead_table):
         ),
     )
     benchmark.pedantic(save_and_print, args=("ext_observability", text), rounds=1, iterations=1)
+    series = []
+    for name, o in overhead_table.items():
+        series.append(make_series(name, "obs_off", "aa", wall_seconds=[o["off_s"]]))
+        series.append(
+            make_series(
+                name, "obs_on", "aa",
+                wall_seconds=[o["on_s"]],
+                extra={"overhead": o["overhead"], "noise": o["noise"]},
+            )
+        )
+    save_series_json("ext_observability", series, suite="ext_observability", repeats=ROUNDS)
 
 
 def test_shape_enabled_overhead_is_bounded(overhead_table):

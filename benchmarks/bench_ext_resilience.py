@@ -18,8 +18,9 @@ Two questions about the runtime of ``docs/RESILIENCE.md``:
 
 import pytest
 
-from benchmarks.conftest import fig6_matrix_cap, save_and_print, tiled_of
+from benchmarks.conftest import fig6_matrix_cap, save_and_print, save_series_json, tiled_of
 from repro.analysis import format_table, geometric_mean
+from repro.bench.schema import make_series
 from repro.core import tile_spgemm
 from repro.gpu import RTX3090, estimate_run
 from repro.matrices import representative_18
@@ -104,6 +105,23 @@ def test_resilience_report(benchmark, overhead_table, recovery_table):
         ),
     )
     benchmark.pedantic(save_and_print, args=("ext_resilience", text), rounds=1, iterations=1)
+    series = []
+    for name in overhead_table:
+        o, r = overhead_table[name], recovery_table[name]
+        series.append(make_series(name, "tilespgemm", "aa", wall_seconds=[o["plain_s"]]))
+        series.append(
+            make_series(
+                name, "resilient", "aa",
+                wall_seconds=[o["resilient_s"]],
+                extra={
+                    "overhead": o["overhead"],
+                    "oom_batches": r["batches"],
+                    "recovered_s": r["recovered_s"],
+                    "recovery_slowdown": r["slowdown"],
+                },
+            )
+        )
+    save_series_json("ext_resilience", series, suite="ext_resilience")
 
 
 def test_shape_overhead_under_5_percent(overhead_table):

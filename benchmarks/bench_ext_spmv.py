@@ -12,8 +12,9 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.conftest import save_and_print, tiled_of
+from benchmarks.conftest import save_and_print, save_series_json, tiled_of
 from repro.analysis import format_table
+from repro.bench.schema import make_series
 from repro.core.spmv import csr_spmv, tile_spmv
 from repro.matrices import representative_18
 
@@ -54,6 +55,19 @@ def test_spmv_report(benchmark, spmv_table):
         title="Extension: SpMV on the resident tiled format (results verified equal)",
     )
     benchmark.pedantic(save_and_print, args=("ext_spmv", text), rounds=1, iterations=1)
+    series = []
+    for name, v in spmv_table.items():
+        for method, ms in (("csr_spmv", v["csr_ms"]), ("tile_spmv", v["tile_ms"])):
+            series.append(
+                make_series(
+                    name, method, "spmv",
+                    wall_seconds=[ms / 1e3],
+                    nnz=v["nnz"],
+                    flops=2 * v["nnz"],
+                    gflops=2 * v["nnz"] / (ms / 1e3) / 1e9,
+                )
+            )
+    save_series_json("ext_spmv", series, suite="ext_spmv")
 
 
 def test_shape_results_identical(spmv_table):

@@ -18,8 +18,10 @@ from benchmarks.conftest import (
     fig6_matrix_cap,
     run_method,
     save_and_print,
+    save_series_json,
 )
 from repro.analysis import ascii_scatter, fit_loglinear, format_table, geometric_mean
+from repro.bench.schema import make_series
 from repro.gpu import RTX3060, RTX3090, estimate_run
 from repro.matrices import full_dataset, matrix_stats
 
@@ -93,6 +95,22 @@ def test_fig6_report(benchmark, sweep):
             ylabel="GFlops",
         )
     benchmark.pedantic(save_and_print, args=("fig6_performance", text), rounds=1, iterations=1)
+    # Model-derived series: no wall samples, the 3090 GFlops estimate is the
+    # scalar the comparison engine falls back to (threshold-only verdicts).
+    series = [
+        make_series(
+            e["name"], m, "aa",
+            gflops=e[(m, "3090")],
+            extra={
+                "category": e["category"],
+                "compression_rate": e["cr"],
+                "gflops_3060": e[(m, "3060")],
+            },
+        )
+        for e in sweep
+        for m in PAPER_METHODS
+    ]
+    save_series_json("fig6_performance", series, suite="fig6")
 
 
 def test_shape_gflops_grow_with_compression(sweep):

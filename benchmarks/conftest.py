@@ -121,6 +121,30 @@ def save_and_print(name: str, text: str) -> None:
     print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
 
 
+def save_series_json(name: str, series, *, suite: str | None = None,
+                     label: str | None = None, warmup: int = 0,
+                     repeats: int = 1, seed: int = 0) -> Path:
+    """Persist a list of ``repro.bench`` series dicts next to the .txt table.
+
+    The resulting ``benchmarks/results/<name>.json`` is a full
+    schema-versioned document (``repro.bench/1``), diffable against any
+    other run with ``python -m repro bench compare`` and appendable to the
+    ``benchmarks/history/`` store.
+    """
+    from repro.bench import schema
+
+    doc = schema.new_document(
+        label=label or name, suite=suite or name,
+        warmup=warmup, repeats=repeats, seed=seed,
+    )
+    doc["series"] = list(series)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    schema.write_document(doc, path)
+    print(f"[saved to benchmarks/results/{name}.json]")
+    return path
+
+
 def fig6_matrix_cap() -> int | None:
     raw = os.environ.get("REPRO_BENCH_MAX_MATRICES", "")
     return int(raw) if raw else None

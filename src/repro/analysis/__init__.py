@@ -6,12 +6,23 @@ from repro.analysis.breakdown import (
     fractions,
     measured_breakdown,
 )
+from repro.analysis.bench_compare import (
+    ComparisonReport,
+    SeriesDelta,
+    bootstrap_median_ci,
+    classify_samples,
+    compare_documents,
+    mann_whitney_u,
+    render_comparison,
+)
 from repro.analysis.plotting import ascii_scatter
 from repro.analysis.profiling import (
     aggregate_spans,
     breakdown_from_trace,
+    diff_traces,
     load_chrome_trace,
     render_breakdown,
+    render_trace_diff,
     top_spans_report,
     validate_chrome_trace,
 )
@@ -20,10 +31,16 @@ from repro.analysis.reporting import format_speedup, format_table, paper_vs_meas
 
 __all__ = [
     "BUCKETS",
+    "ComparisonReport",
     "RegressionLine",
+    "SeriesDelta",
     "aggregate_spans",
     "ascii_scatter",
+    "bootstrap_median_ci",
     "breakdown_from_trace",
+    "classify_samples",
+    "compare_documents",
+    "diff_traces",
     "estimated_breakdown",
     "fit_loglinear",
     "fractions",
@@ -31,9 +48,12 @@ __all__ = [
     "format_table",
     "geometric_mean",
     "load_chrome_trace",
+    "mann_whitney_u",
     "measured_breakdown",
     "paper_vs_measured_row",
     "render_breakdown",
+    "render_comparison",
+    "render_trace_diff",
     "top_spans_report",
     "validate_chrome_trace",
 ]

@@ -1,0 +1,363 @@
+"""Statistical comparison of two benchmark result documents.
+
+The paper's comparisons (and the bhSPARSE/spECK lines of work it builds
+on) are only meaningful with noise-aware, like-for-like measurement: a
+2 % wall-clock delta on a Python harness is scheduler noise, a 2x delta
+is a regression.  This module draws that line with order statistics
+rather than means:
+
+* :func:`bootstrap_median_ci` — percentile bootstrap confidence interval
+  on the median of a sample set (deterministic, seeded);
+* :func:`mann_whitney_u` — the Mann-Whitney U rank test (normal
+  approximation with tie correction and continuity correction), which
+  needs no normality assumption and is robust to the long right tail of
+  wall-clock samples;
+* :func:`classify_samples` — folds both into one verdict per series:
+  ``improved`` / ``regressed`` / ``unchanged`` given a relative noise
+  threshold and significance level;
+* :func:`compare_documents` — matches two documents' series by key,
+  classifies each, and rolls the deltas up into per-method and overall
+  geometric-mean speedups (the paper's summary statistic).
+
+Series without repeat samples (model-derived GFlops sweeps) fall back to
+a pure-threshold comparison on the scalar throughput — flagged with
+``p_value = None`` so reports can distinguish "statistically significant"
+from "beyond threshold but untested".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.regression import geometric_mean
+
+__all__ = [
+    "DEFAULT_NOISE_THRESHOLD",
+    "DEFAULT_ALPHA",
+    "SeriesDelta",
+    "ComparisonReport",
+    "bootstrap_median_ci",
+    "mann_whitney_u",
+    "classify_samples",
+    "compare_documents",
+    "render_comparison",
+]
+
+#: Relative wall-clock change below which a delta is noise by definition.
+#: Interpreted-Python wall times shift 10-25 % between processes on shared
+#: machines (allocator and cache state, CPU frequency, co-tenants), so the
+#: default sits above that floor; a genuine 2x regression — what the gate
+#: exists to catch — still clears it with 4x margin.  Tighten with
+#: ``--threshold`` on quiet, pinned machines.
+DEFAULT_NOISE_THRESHOLD = 0.25
+
+#: Two-sided significance level of the Mann-Whitney test.
+DEFAULT_ALPHA = 0.05
+
+#: Bootstrap resamples for the median confidence interval.
+DEFAULT_BOOTSTRAP = 1000
+
+
+def bootstrap_median_ci(
+    samples: Sequence[float],
+    alpha: float = DEFAULT_ALPHA,
+    n_boot: int = DEFAULT_BOOTSTRAP,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap ``1 - alpha`` confidence interval on the median.
+
+    Deterministic for a given ``seed`` so two gate evaluations of the same
+    documents agree.  Degenerates gracefully: one sample yields a zero-width
+    interval at that sample.
+    """
+    x = np.asarray(samples, dtype=np.float64)
+    if x.size == 0:
+        raise ValueError("cannot bootstrap an empty sample set")
+    if x.size == 1:
+        return float(x[0]), float(x[0])
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, x.size, size=(int(n_boot), x.size))
+    medians = np.median(x[idx], axis=1)
+    lo, hi = np.quantile(medians, [alpha / 2.0, 1.0 - alpha / 2.0])
+    return float(lo), float(hi)
+
+
+def mann_whitney_u(x: Sequence[float], y: Sequence[float]) -> Tuple[float, float]:
+    """Two-sided Mann-Whitney U test; returns ``(U_of_x, p_value)``.
+
+    Normal approximation with tie correction and continuity correction —
+    exact enough for the bench's sample counts (>= 4 per side) and free of
+    any SciPy dependency.  Fully tied inputs (identical runs) return
+    ``p = 1.0``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    n1, n2 = x.size, y.size
+    if n1 == 0 or n2 == 0:
+        return 0.0, 1.0
+    combined = np.concatenate([x, y])
+    order = np.argsort(combined, kind="mergesort")
+    ranks = np.empty(combined.size, dtype=np.float64)
+    ranks[order] = np.arange(1, combined.size + 1, dtype=np.float64)
+    # Average the ranks of tied values.
+    uniq, inverse, counts = np.unique(combined, return_inverse=True, return_counts=True)
+    if uniq.size < combined.size:
+        sums = np.bincount(inverse, weights=ranks)
+        ranks = (sums / counts)[inverse]
+    r1 = float(ranks[:n1].sum())
+    u1 = r1 - n1 * (n1 + 1) / 2.0
+    mu = n1 * n2 / 2.0
+    n = n1 + n2
+    tie_term = float(((counts.astype(np.float64) ** 3) - counts).sum()) / (n * (n - 1))
+    sigma2 = (n1 * n2 / 12.0) * ((n + 1) - tie_term)
+    if sigma2 <= 0:
+        return u1, 1.0  # every value tied: the samples are indistinguishable
+    diff = u1 - mu
+    correction = 0.5 if diff < 0 else (-0.5 if diff > 0 else 0.0)
+    z = (diff + correction) / math.sqrt(sigma2)
+    p = math.erfc(abs(z) / math.sqrt(2.0))
+    return u1, min(1.0, max(0.0, p))
+
+
+@dataclass
+class SeriesDelta:
+    """One series' verdict when diffing two documents.
+
+    ``ratio`` is relative wall time ``current / baseline`` (> 1 is
+    slower); ``speedup`` its reciprocal.  ``p_value`` is ``None`` when the
+    series had no repeat samples and the verdict fell back to the pure
+    threshold test on the scalar throughput.
+    """
+
+    key: str
+    matrix: str = ""
+    method: str = ""
+    op: str = ""
+    classification: str = "unchanged"  #: improved|regressed|unchanged|added|removed
+    baseline_median: Optional[float] = None
+    current_median: Optional[float] = None
+    ratio: Optional[float] = None
+    speedup: Optional[float] = None
+    p_value: Optional[float] = None
+    baseline_ci: Optional[Tuple[float, float]] = None
+    current_ci: Optional[Tuple[float, float]] = None
+    significant: bool = False
+
+
+@dataclass
+class ComparisonReport:
+    """The full diff of two documents."""
+
+    deltas: List[SeriesDelta] = field(default_factory=list)
+    noise_threshold: float = DEFAULT_NOISE_THRESHOLD
+    alpha: float = DEFAULT_ALPHA
+    baseline_label: str = ""
+    current_label: str = ""
+
+    @property
+    def regressions(self) -> List[SeriesDelta]:
+        """Significant regressions only — what the gate acts on."""
+        return [
+            d for d in self.deltas if d.classification == "regressed" and d.significant
+        ]
+
+    @property
+    def improvements(self) -> List[SeriesDelta]:
+        return [
+            d for d in self.deltas if d.classification == "improved" and d.significant
+        ]
+
+    def geomean_speedup(self, method: Optional[str] = None) -> float:
+        """Geometric-mean speedup (baseline time / current time).
+
+        1.0 means parity, > 1 means the current run is faster.  Restricted
+        to ``method`` when given; only matched series with a finite
+        positive speedup contribute (the paper's convention for failed
+        runs).
+        """
+        vals = [
+            d.speedup
+            for d in self.deltas
+            if d.speedup is not None and (method is None or d.method == method)
+        ]
+        return geometric_mean(vals)
+
+    def methods(self) -> List[str]:
+        return sorted({d.method for d in self.deltas if d.method})
+
+
+def classify_samples(
+    baseline: Sequence[float],
+    current: Sequence[float],
+    noise_threshold: float = DEFAULT_NOISE_THRESHOLD,
+    alpha: float = DEFAULT_ALPHA,
+    seed: int = 0,
+) -> SeriesDelta:
+    """Classify one series from its two wall-clock sample sets.
+
+    A delta counts as ``regressed``/``improved`` only when the median
+    moved beyond ``noise_threshold`` *and* the Mann-Whitney test rejects
+    "same distribution" at ``alpha`` — so one outlier sample cannot fail
+    a gate, and a consistent small drift below the threshold cannot
+    either.
+    """
+    base = np.asarray(baseline, dtype=np.float64)
+    cur = np.asarray(current, dtype=np.float64)
+    if base.size == 0 or cur.size == 0:
+        raise ValueError("classify_samples needs non-empty sample sets")
+    base_med = float(np.median(base))
+    cur_med = float(np.median(cur))
+    ratio = cur_med / base_med if base_med > 0 else float("inf")
+    delta = SeriesDelta(
+        key="",
+        baseline_median=base_med,
+        current_median=cur_med,
+        ratio=ratio,
+        speedup=(base_med / cur_med) if cur_med > 0 else None,
+        baseline_ci=bootstrap_median_ci(base, alpha=alpha, seed=seed),
+        current_ci=bootstrap_median_ci(cur, alpha=alpha, seed=seed + 1),
+    )
+    _, p = mann_whitney_u(base, cur)
+    delta.p_value = p
+    beyond = abs(ratio - 1.0) > noise_threshold
+    if beyond and p < alpha:
+        delta.classification = "regressed" if ratio > 1.0 else "improved"
+        delta.significant = True
+    else:
+        delta.classification = "unchanged"
+    return delta
+
+
+def _scalar_delta(
+    base: float, cur: float, noise_threshold: float
+) -> Tuple[str, float, bool]:
+    """Threshold-only classification for sample-free (scalar) series.
+
+    ``base``/``cur`` are time-like (bigger is slower); returns
+    (classification, ratio, significant).  Scalar verdicts are never
+    "statistically significant" — they carry ``significant = beyond
+    threshold`` so the gate still reacts to a model-level 2x slowdown.
+    """
+    if base <= 0 or cur <= 0:
+        return "unchanged", float("nan"), False
+    ratio = cur / base
+    if ratio > 1.0 + noise_threshold:
+        return "regressed", ratio, True
+    if ratio < 1.0 - noise_threshold:
+        return "improved", ratio, True
+    return "unchanged", ratio, False
+
+
+def compare_documents(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    noise_threshold: float = DEFAULT_NOISE_THRESHOLD,
+    alpha: float = DEFAULT_ALPHA,
+    seed: int = 0,
+) -> ComparisonReport:
+    """Diff two result documents series-by-series.
+
+    Series present on only one side classify as ``added``/``removed``
+    (never significant — suite drift is reported, not gated).  Matched
+    series compare on wall-clock samples when both sides have them,
+    falling back to measured/estimated GFlops as an inverse-time scalar.
+    """
+    from repro.bench.schema import index_series, validate_document
+
+    validate_document(baseline)
+    validate_document(current)
+    base_idx = index_series(baseline)
+    cur_idx = index_series(current)
+    report = ComparisonReport(
+        noise_threshold=noise_threshold,
+        alpha=alpha,
+        baseline_label=baseline["meta"].get("label", ""),
+        current_label=current["meta"].get("label", ""),
+    )
+    for key in sorted(set(base_idx) | set(cur_idx)):
+        b, c = base_idx.get(key), cur_idx.get(key)
+        if b is None or c is None:
+            src = c if b is None else b
+            report.deltas.append(
+                SeriesDelta(
+                    key=key,
+                    matrix=src["matrix"],
+                    method=src["method"],
+                    op=src["op"],
+                    classification="added" if b is None else "removed",
+                )
+            )
+            continue
+        b_samples = b.get("wall_seconds") or []
+        c_samples = c.get("wall_seconds") or []
+        if b_samples and c_samples:
+            delta = classify_samples(
+                b_samples, c_samples, noise_threshold=noise_threshold, alpha=alpha, seed=seed
+            )
+        else:
+            # Scalar fallback: GFlops is inverse time, so invert into a
+            # time-like quantity before the threshold test.
+            b_g = float(b.get("gflops") or 0.0)
+            c_g = float(c.get("gflops") or 0.0)
+            delta = SeriesDelta(key=key)
+            if b_g > 0 and c_g > 0:
+                cls, ratio, sig = _scalar_delta(1.0 / b_g, 1.0 / c_g, noise_threshold)
+                delta.classification = cls
+                delta.ratio = ratio
+                delta.speedup = c_g / b_g
+                delta.significant = sig
+                delta.baseline_median = 1.0 / b_g
+                delta.current_median = 1.0 / c_g
+        delta.key = key
+        delta.matrix, delta.method, delta.op = c["matrix"], c["method"], c["op"]
+        report.deltas.append(delta)
+    return report
+
+
+def render_comparison(report: ComparisonReport, verbose: bool = False) -> str:
+    """Human-readable table of a comparison (the ``bench compare`` output)."""
+    from repro.analysis.reporting import format_table
+
+    rows = []
+    for d in report.deltas:
+        if d.classification in ("added", "removed"):
+            rows.append([d.key, d.classification, "-", "-", "-", "-"])
+            continue
+        if not verbose and d.classification == "unchanged":
+            continue
+        rows.append(
+            [
+                d.key,
+                d.classification + ("" if d.significant else " (ns)"),
+                f"{d.baseline_median * 1e3:.3f}" if d.baseline_median else "-",
+                f"{d.current_median * 1e3:.3f}" if d.current_median else "-",
+                f"{d.speedup:.3f}x" if d.speedup else "-",
+                f"{d.p_value:.4f}" if d.p_value is not None else "-",
+            ]
+        )
+    if not rows:
+        rows.append(["(all series unchanged)", "", "", "", "", ""])
+    text = format_table(
+        ["series", "verdict", "base ms", "cur ms", "speedup", "p"],
+        rows,
+        title=(
+            f"bench compare: {report.baseline_label or 'baseline'} -> "
+            f"{report.current_label or 'current'} "
+            f"(threshold {report.noise_threshold * 100:.0f}%, alpha {report.alpha})"
+        ),
+    )
+    roll = [["(all)", f"{report.geomean_speedup():.3f}x"]]
+    for m in report.methods():
+        roll.append([m, f"{report.geomean_speedup(m):.3f}x"])
+    text += "\n\n" + format_table(
+        ["method", "geomean speedup"], roll, title="geomean speedup rollup"
+    )
+    counts = {}
+    for d in report.deltas:
+        counts[d.classification] = counts.get(d.classification, 0) + 1
+    text += "\nverdicts: " + ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    return text

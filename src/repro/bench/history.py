@@ -1,0 +1,116 @@
+"""The benchmark history store and the regression gate.
+
+Runs accumulate under ``benchmarks/history/`` as one JSON document per
+run (named ``<suite>-<created>-<label>.json``), giving the repository a
+performance trajectory: every PR's ``repro bench run`` appends an entry,
+and ``repro bench gate`` diffs the candidate against a baseline —
+``benchmarks/history/seed.json`` by default, the checked-in first entry —
+failing with :class:`~repro.errors.BenchRegressionError` (CLI exit code
+9) on statistically significant regressions beyond the noise threshold.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.bench_compare import (
+    DEFAULT_ALPHA,
+    DEFAULT_NOISE_THRESHOLD,
+    ComparisonReport,
+    compare_documents,
+)
+from repro.bench import schema
+from repro.errors import BenchRegressionError
+
+__all__ = [
+    "DEFAULT_HISTORY_DIR",
+    "DEFAULT_BASELINE",
+    "run_filename",
+    "append_run",
+    "history_paths",
+    "latest_run",
+    "load_history",
+    "gate_documents",
+]
+
+#: Where the repository keeps its run trajectory (relative to the cwd of
+#: a checkout; the CLI takes ``--history-dir`` for anything else).
+DEFAULT_HISTORY_DIR = Path("benchmarks") / "history"
+
+#: The checked-in first history entry every gate defaults to.
+DEFAULT_BASELINE = DEFAULT_HISTORY_DIR / "seed.json"
+
+
+def run_filename(doc: Dict[str, Any]) -> str:
+    """Deterministic history filename for one document."""
+    meta = doc["meta"]
+    label = "".join(c if (c.isalnum() or c in "-_") else "-" for c in meta["label"])
+    return f"{meta['suite']}-{int(meta['created_unix'])}-{label}.json"
+
+
+def append_run(doc: Dict[str, Any], history_dir=DEFAULT_HISTORY_DIR) -> Path:
+    """Validate ``doc`` and append it to the history directory."""
+    schema.validate_document(doc)
+    directory = Path(history_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / run_filename(doc)
+    schema.write_document(doc, path)
+    return path
+
+
+def history_paths(history_dir=DEFAULT_HISTORY_DIR) -> List[Path]:
+    """Every history entry, oldest first (by recorded creation time)."""
+    directory = Path(history_dir)
+    if not directory.is_dir():
+        return []
+    entries = []
+    for path in sorted(directory.glob("*.json")):
+        try:
+            doc = schema.load_document(path)
+        except Exception:
+            continue  # a foreign file in the directory is not history
+        entries.append((doc["meta"]["created_unix"], str(path)))
+    entries.sort()
+    return [Path(p) for _, p in entries]
+
+
+def latest_run(
+    history_dir=DEFAULT_HISTORY_DIR, exclude: Optional[Path] = None
+) -> Optional[Path]:
+    """The newest history entry, optionally skipping ``exclude`` (so the
+    gate's default candidate is never the baseline itself)."""
+    skip = Path(exclude).resolve() if exclude is not None else None
+    for path in reversed(history_paths(history_dir)):
+        if skip is not None and path.resolve() == skip:
+            continue
+        return path
+    return None
+
+
+def load_history(history_dir=DEFAULT_HISTORY_DIR) -> List[Dict[str, Any]]:
+    """All history documents, oldest first."""
+    return [schema.load_document(p) for p in history_paths(history_dir)]
+
+
+def gate_documents(
+    baseline: Dict[str, Any],
+    candidate: Dict[str, Any],
+    noise_threshold: float = DEFAULT_NOISE_THRESHOLD,
+    alpha: float = DEFAULT_ALPHA,
+) -> ComparisonReport:
+    """Compare candidate against baseline; raise on significant regressions.
+
+    Returns the full :class:`~repro.analysis.bench_compare.ComparisonReport`
+    when the gate passes; raises :class:`~repro.errors.BenchRegressionError`
+    (carrying the report on ``exc.report`` and the offending deltas on
+    ``exc.regressions``) when any series regressed significantly.
+    """
+    report = compare_documents(
+        baseline, candidate, noise_threshold=noise_threshold, alpha=alpha
+    )
+    if report.regressions:
+        exc = BenchRegressionError(report.regressions)
+        exc.report = report
+        raise exc
+    return report

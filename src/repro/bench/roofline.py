@@ -1,0 +1,154 @@
+"""Roofline analytics: where each run sits against its device's peaks.
+
+The cost model (:mod:`repro.gpu.costmodel`) already prices every kernel
+as ``max(compute, memory) + launch``; this module inverts that view into
+the classic roofline coordinates for a whole run: arithmetic intensity
+(flops per DRAM byte), achieved GFlops against the device's compute peak,
+and achieved bandwidth against the DRAM peak.  Because the per-kernel
+``memory_s`` in a result document is *bytes moved / peak bandwidth*, the
+bytes reconstruct exactly — no second bookkeeping channel is needed.
+
+Interpretation (see ``docs/BENCHMARKING.md``): a series whose achieved
+bandwidth approaches the DRAM roof is memory-bound — making it faster
+requires moving fewer bytes (the paper's argument for the tiled format);
+a series far from both roofs is overhead-bound (launches, allocation,
+load imbalance), which is where scheduling work pays off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.gpu import DEVICES
+
+__all__ = ["RooflinePoint", "roofline_points", "render_roofline"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One (series, device) position on the roofline plot."""
+
+    key: str
+    device: str
+    seconds: float
+    flops: int
+    bytes_moved: float
+    achieved_gflops: float
+    peak_gflops: float
+    achieved_gbs: float
+    peak_gbs: float
+    oom: bool = False
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Flops per DRAM byte of the whole run."""
+        return self.flops / self.bytes_moved if self.bytes_moved > 0 else 0.0
+
+    @property
+    def ridge_intensity(self) -> float:
+        """The device's ridge point: flops/byte where both roofs meet."""
+        return self.peak_gflops / self.peak_gbs if self.peak_gbs > 0 else 0.0
+
+    @property
+    def bound(self) -> str:
+        """Which roof limits this run at its intensity."""
+        return "memory" if self.arithmetic_intensity < self.ridge_intensity else "compute"
+
+    @property
+    def compute_fraction(self) -> float:
+        """Achieved GFlops as a fraction of the compute peak."""
+        return self.achieved_gflops / self.peak_gflops if self.peak_gflops > 0 else 0.0
+
+    @property
+    def bandwidth_fraction(self) -> float:
+        """Achieved bandwidth as a fraction of the DRAM peak."""
+        return self.achieved_gbs / self.peak_gbs if self.peak_gbs > 0 else 0.0
+
+
+def roofline_points(
+    doc: Dict[str, Any], device: Optional[str] = None
+) -> List[RooflinePoint]:
+    """Roofline positions for every (series, device) estimate in ``doc``.
+
+    ``device`` restricts the join to one device key (``"rtx3090"``).
+    Series without cost-model estimates, and out-of-memory estimates, are
+    skipped (an OOM run has no meaningful throughput — the paper plots
+    those as failures, not points).
+    """
+    points: List[RooflinePoint] = []
+    for series in doc["series"]:
+        estimates = series.get("estimates") or {}
+        for dev_key, est in sorted(estimates.items()):
+            if device is not None and dev_key != device:
+                continue
+            model = DEVICES.get(dev_key)
+            if model is None:
+                continue
+            seconds = float(est.get("seconds", 0.0))
+            if est.get("oom") or seconds <= 0:
+                points.append(
+                    RooflinePoint(
+                        key=series["key"],
+                        device=dev_key,
+                        seconds=seconds,
+                        flops=int(series.get("flops", 0)),
+                        bytes_moved=0.0,
+                        achieved_gflops=0.0,
+                        peak_gflops=model.peak_gflops_fp64,
+                        achieved_gbs=0.0,
+                        peak_gbs=model.dram_bw_gbs,
+                        oom=bool(est.get("oom")),
+                    )
+                )
+                continue
+            # memory_s was bytes / peak_bw, so the bytes reconstruct.
+            bytes_moved = sum(
+                float(k.get("memory_s", 0.0)) for k in est.get("kernels", {}).values()
+            ) * model.dram_bw_gbs * 1e9
+            points.append(
+                RooflinePoint(
+                    key=series["key"],
+                    device=dev_key,
+                    seconds=seconds,
+                    flops=int(series.get("flops", 0)),
+                    bytes_moved=bytes_moved,
+                    achieved_gflops=float(est.get("gflops", 0.0)),
+                    peak_gflops=model.peak_gflops_fp64,
+                    achieved_gbs=bytes_moved / seconds / 1e9,
+                    peak_gbs=model.dram_bw_gbs,
+                )
+            )
+    return points
+
+
+def render_roofline(points: List[RooflinePoint]) -> str:
+    """The roofline table behind ``repro bench report --roofline``."""
+    from repro.analysis.reporting import format_table
+
+    rows = []
+    for p in points:
+        if p.oom or p.seconds <= 0:
+            rows.append([p.key, p.device, "-", "OOM" if p.oom else "-", "-", "-", "-"])
+            continue
+        rows.append(
+            [
+                p.key,
+                p.device,
+                f"{p.arithmetic_intensity:.2f}",
+                f"{p.achieved_gflops:.2f}",
+                f"{p.compute_fraction * 100:.1f}%",
+                f"{p.achieved_gbs:.1f}",
+                f"{p.bandwidth_fraction * 100:.1f}%",
+            ]
+        )
+    return format_table(
+        ["series", "device", "flops/byte", "GFlops", "% peak", "GB/s", "% BW"],
+        rows,
+        title="roofline position (cost model vs device peaks; ridge at "
+        + ", ".join(
+            f"{k}={DEVICES[k].peak_gflops_fp64 / DEVICES[k].dram_bw_gbs:.2f}"
+            for k in sorted({p.device for p in points if p.device in DEVICES})
+        )
+        + " flops/byte)",
+    )

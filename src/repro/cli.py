@@ -18,6 +18,12 @@ and the observability layer (see docs/OBSERVABILITY.md)::
 
     python -m repro --trace t.json --metrics m.prom --profile path/to/matrix.mtx
 
+A ``bench`` subcommand family (see docs/BENCHMARKING.md) runs the
+machine-readable benchmark tier::
+
+    python -m repro bench run --suite ext --out BENCH.json
+    python -m repro bench gate --candidate BENCH.json
+
 ``--trace`` writes a Chrome trace-event file loadable in Perfetto,
 ``--metrics`` a Prometheus text dump of the kernel counters, ``--profile``
 prints a top-spans wall-clock report, and ``--json`` replaces the
@@ -157,6 +163,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Run the artifact workflow; returns the process exit status."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        # The benchmark tier (docs/BENCHMARKING.md): run/compare/gate/report
+        # over machine-readable result documents.
+        from repro.bench.cli import bench_main
+
+        return bench_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if not 0 <= args.d < len(_DEVICES):
         print(f"error: unknown device ordinal {args.d}", file=sys.stderr)

@@ -35,6 +35,7 @@ __all__ = [
     "TransientKernelError",
     "CommFailure",
     "ResilienceExhausted",
+    "BenchRegressionError",
     "EXIT_OK",
     "EXIT_CHECK_FAILED",
     "EXIT_USAGE",
@@ -44,6 +45,7 @@ __all__ = [
     "EXIT_TRANSIENT",
     "EXIT_COMM",
     "EXIT_EXHAUSTED",
+    "EXIT_REGRESSION",
     "exit_code_for",
 ]
 
@@ -129,6 +131,25 @@ class ResilienceExhausted(ReproError):
     """
 
 
+class BenchRegressionError(ReproError):
+    """The benchmark gate found a statistically significant regression.
+
+    Raised by :func:`repro.bench.history.gate_documents` (and surfaced by
+    ``repro bench gate``) when at least one series of the candidate run is
+    slower than the baseline beyond the configured noise threshold *and*
+    the slowdown is statistically significant (see
+    :mod:`repro.analysis.bench_compare`).  Carries the offending series
+    keys so CI logs name exactly what regressed.
+    """
+
+    def __init__(self, regressions) -> None:
+        self.regressions = list(regressions)
+        keys = ", ".join(r.key for r in self.regressions)
+        super().__init__(
+            f"{len(self.regressions)} benchmark series regressed: {keys}"
+        )
+
+
 # ----------------------------------------------------------------------
 # CLI exit-code contract (one distinct code per error class)
 # ----------------------------------------------------------------------
@@ -141,6 +162,7 @@ EXIT_OOM = 5  #: device memory budget exceeded
 EXIT_TRANSIENT = 6  #: transient kernel fault (retries exhausted)
 EXIT_COMM = 7  #: communication failure in the distributed layer
 EXIT_EXHAUSTED = 8  #: resilient runtime ran out of fallbacks
+EXIT_REGRESSION = 9  #: benchmark gate found a significant regression
 
 
 def exit_code_for(exc: BaseException) -> int:
@@ -149,6 +171,8 @@ def exit_code_for(exc: BaseException) -> int:
     Subclass checks run most-specific first (``CommFailure`` before
     ``TransientKernelError``, typed errors before their builtin bases).
     """
+    if isinstance(exc, BenchRegressionError):
+        return EXIT_REGRESSION
     if isinstance(exc, ResilienceExhausted):
         return EXIT_EXHAUSTED
     if isinstance(exc, CommFailure):

@@ -38,10 +38,20 @@ def _label_key(labels: Dict[str, Any]) -> _LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double-quote and line-feed are the three characters the
+    format requires escaping inside quoted label values; anything else
+    passes through verbatim.
+    """
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 def _render_key(name: str, labels: _LabelKey) -> str:
     if not labels:
         return name
-    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in labels)
     return f"{name}{{{inner}}}"
 
 
@@ -183,20 +193,38 @@ class MetricsRegistry:
             lines.append(f"# TYPE {name} gauge")
             for lk, v in sorted(by_name[name]):
                 lines.append(f"{_render_key(name, lk)} {_num(v)}")
-        for (name, lk), h in sorted(self._hists.items()):
+        hist_by_name: Dict[str, List[Tuple[_LabelKey, Dict[str, Any]]]] = {}
+        for (n, lk), h in self._hists.items():
+            hist_by_name.setdefault(n, []).append((lk, h))
+        for name in sorted(hist_by_name):
+            # One TYPE line per metric family (not per label set), then the
+            # bucket series; the _sum/_count series get their own TYPE/HELP
+            # header so scrapers that treat them as standalone series see
+            # them typed (they are cumulative, i.e. counters).
             if name in self._help:
                 lines.append(f"# HELP {name} {self._help[name]}")
             lines.append(f"# TYPE {name} histogram")
-            cumulative = 0
-            for bound, c in zip(h["buckets"], h["counts"]):
-                cumulative += c
-                key = _render_key(f"{name}_bucket", lk + (("le", _num(bound)),))
+            label_sets = sorted(hist_by_name[name])
+            for lk, h in label_sets:
+                cumulative = 0
+                for bound, c in zip(h["buckets"], h["counts"]):
+                    cumulative += c
+                    key = _render_key(f"{name}_bucket", lk + (("le", _num(bound)),))
+                    lines.append(f"{key} {cumulative}")
+                cumulative += h["counts"][-1]
+                key = _render_key(f"{name}_bucket", lk + (("le", "+Inf"),))
                 lines.append(f"{key} {cumulative}")
-            cumulative += h["counts"][-1]
-            key = _render_key(f"{name}_bucket", lk + (("le", "+Inf"),))
-            lines.append(f"{key} {cumulative}")
-            lines.append(f"{_render_key(name + '_sum', lk)} {_num(h['sum'])}")
-            lines.append(f"{_render_key(name + '_count', lk)} {h['count']}")
+            for suffix, render in (
+                ("_sum", lambda h: _num(h["sum"])),
+                ("_count", lambda h: str(h["count"])),
+            ):
+                if name in self._help:
+                    lines.append(
+                        f"# HELP {name}{suffix} {self._help[name]} ({suffix[1:]} of observations)"
+                    )
+                lines.append(f"# TYPE {name}{suffix} counter")
+                for lk, h in label_sets:
+                    lines.append(f"{_render_key(name + suffix, lk)} {render(h)}")
         return "\n".join(lines) + ("\n" if lines else "")
 
     def write(self, path) -> None:

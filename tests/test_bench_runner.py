@@ -1,0 +1,166 @@
+"""The machine-readable bench runner, schema, roofline join and CLI.
+
+The smoke suite (two tiny generated matrices, two methods) keeps these
+tests fast while exercising the full measurement path: instrumented
+counter collection, warmup/repeat timing, per-device cost-model estimates
+and document validation.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import schema
+from repro.bench.cli import bench_main
+from repro.bench.roofline import render_roofline, roofline_points
+from repro.bench.runner import BenchConfig, BenchRunner, available_suites
+from repro.errors import EXIT_OK, InvalidInputError
+
+
+@pytest.fixture(scope="module")
+def smoke_doc():
+    config = BenchConfig(suite="smoke", label="unit", warmup=1, repeats=3, seed=0)
+    return BenchRunner(config).run()
+
+
+class TestRunner:
+    def test_smoke_run_is_schema_valid(self, smoke_doc):
+        schema.validate_document(smoke_doc)
+        assert smoke_doc["schema"] == schema.SCHEMA_VERSION
+        assert smoke_doc["meta"]["suite"] == "smoke"
+        assert smoke_doc["environment"]["python"]
+
+    def test_series_carry_samples_counters_and_estimates(self, smoke_doc):
+        assert len(smoke_doc["series"]) == 4  # 2 matrices x 2 methods x 1 op
+        for s in smoke_doc["series"]:
+            assert len(s["wall_seconds"]) == 3
+            assert all(t >= 0 for t in s["wall_seconds"])
+            assert s["gflops"] > 0 and s["flops"] > 0 and s["nnz_c"] > 0
+            assert set(s["estimates"]) == {"rtx3060", "rtx3090"}
+            for est in s["estimates"].values():
+                assert est["kernels"], s["key"]
+        tile = [s for s in smoke_doc["series"] if s["method"] == "tilespgemm"]
+        assert tile and all(s["counters"] for s in tile)
+        assert all("step2" in s.get("phases", {}) for s in tile)
+
+    def test_unknown_suite_raises_invalid_input(self):
+        with pytest.raises(InvalidInputError):
+            BenchRunner(BenchConfig(suite="nope"))
+
+    def test_available_suites_lists_all(self):
+        names = available_suites()
+        assert {"smoke", "ext", "representative", "fig6", "tsparse"} <= set(names)
+
+    def test_max_matrices_env_cap(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_MAX_MATRICES", "1")
+        doc = BenchRunner(
+            BenchConfig(suite="smoke", warmup=0, repeats=1)
+        ).run()
+        assert len({s["matrix"] for s in doc["series"]}) == 1
+
+
+class TestSchema:
+    def test_corrupted_key_rejected(self, smoke_doc):
+        bad = json.loads(json.dumps(smoke_doc))
+        bad["series"][0]["key"] = "wrong|key|oops"
+        with pytest.raises(InvalidInputError, match=r"\$\.series\[0\]\.key"):
+            schema.validate_document(bad)
+
+    def test_negative_duration_rejected(self, smoke_doc):
+        bad = json.loads(json.dumps(smoke_doc))
+        bad["series"][1]["wall_seconds"] = [-1.0]
+        with pytest.raises(InvalidInputError, match="negative"):
+            schema.validate_document(bad)
+
+    def test_load_rejects_truncated_json(self, tmp_path):
+        path = tmp_path / "trunc.json"
+        path.write_text('{"schema": "repro.bench/1", "meta"')
+        with pytest.raises(InvalidInputError, match="not valid JSON"):
+            schema.load_document(path)
+
+
+class TestRoofline:
+    def test_points_join_estimates(self, smoke_doc):
+        points = roofline_points(smoke_doc)
+        assert len(points) == 8  # 4 series x 2 devices
+        for p in points:
+            assert p.bound in ("compute", "memory")
+            assert p.arithmetic_intensity > 0
+            assert 0 < p.achieved_gflops <= p.peak_gflops
+            # max(compute, memory) roofline: the binding fraction is largest
+            assert max(p.compute_fraction, p.bandwidth_fraction) <= 1.0 + 1e-9
+
+    def test_device_filter_and_render(self, smoke_doc):
+        points = roofline_points(smoke_doc, device="rtx3090")
+        assert len(points) == 4 and all(p.device == "rtx3090" for p in points)
+        text = render_roofline(points)
+        assert "ridge" in text and "rtx3090" in text
+
+
+class TestCli:
+    def test_run_report_compare_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "runs" / "a.json"
+        hist = tmp_path / "history"
+        argv = [
+            "run", "--suite", "smoke", "--warmup", "0", "--repeats", "2",
+            "--out", str(out), "--history-dir", str(hist), "--quiet",
+        ]
+        assert bench_main(argv) == EXIT_OK
+        doc = schema.load_document(out)
+        assert doc["meta"]["suite"] == "smoke"
+        assert len(list(hist.glob("*.json"))) == 1
+
+        assert bench_main(["report", str(out), "--roofline"]) == EXIT_OK
+        text = capsys.readouterr().out
+        assert "series summary" in text and "roofline" in text
+
+        assert bench_main(["compare", str(out), str(out), "--json"]) == EXIT_OK
+        verdicts = json.loads(capsys.readouterr().out)
+        assert all(s["classification"] == "unchanged" for s in verdicts["series"])
+        assert verdicts["geomean_speedup"] == pytest.approx(1.0, rel=0.15)
+
+    def test_report_attribute_diffs_traces(self, tmp_path, capsys):
+        def trace(step2_us):
+            return {
+                "traceEvents": [
+                    {"ph": "X", "name": "step1", "cat": "step", "pid": 1,
+                     "tid": 1, "ts": 0, "dur": 100},
+                    {"ph": "X", "name": "step2", "cat": "step", "pid": 1,
+                     "tid": 1, "ts": 100, "dur": step2_us},
+                ]
+            }
+
+        base, cur = tmp_path / "base.json", tmp_path / "cur.json"
+        base.write_text(json.dumps(trace(1000)))
+        cur.write_text(json.dumps(trace(5000)))
+        code = bench_main(["report", "--attribute", str(base), str(cur)])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        # step2 moved most, so attribution lists it first.
+        assert out.index("step2") < out.index("step1")
+        assert "5.00x" in out
+
+
+class TestTraceDiff:
+    def test_diff_traces_orders_by_absolute_delta(self):
+        from repro.analysis.profiling import diff_traces, render_trace_diff
+
+        def doc(events):
+            return {
+                "traceEvents": [
+                    {"ph": "X", "name": n, "cat": "step", "pid": 1, "tid": 1,
+                     "ts": 0, "dur": d}
+                    for n, d in events
+                ]
+            }
+
+        a = doc([("alloc", 50), ("step2", 1000)])
+        b = doc([("alloc", 60), ("step2", 4000), ("new_phase", 500)])
+        diff = diff_traces(a, b)
+        assert list(diff) == ["step2", "new_phase", "alloc"]
+        assert diff["step2"]["ratio"] == pytest.approx(4.0)
+        assert diff["new_phase"]["ratio"] == float("inf")
+        text = render_trace_diff(diff)
+        assert "new" in text and "step2" in text

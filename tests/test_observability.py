@@ -228,6 +228,33 @@ class TestMetricsRegistry:
         assert "sizes_sum 57" in lines
         assert "sizes_count 3" in lines
 
+    def test_prometheus_label_value_escaping(self):
+        """Backslash, quote and newline must be escaped inside label values."""
+        m = MetricsRegistry()
+        m.inc("weird_total", path='C:\\x\n"q"')
+        text = m.to_prometheus()
+        assert 'weird_total{path="C:\\\\x\\n\\"q\\""} 1' in text.splitlines()
+        # The snapshot keys get the same treatment (diffable text form).
+        assert 'weird_total{path="C:\\\\x\\n\\"q\\""}' in m.snapshot()["counters"]
+
+    def test_prometheus_histogram_family_headers(self):
+        """One TYPE line per histogram family; _sum/_count typed as counters."""
+        m = MetricsRegistry()
+        m.describe("tile_nnz", "nnz per tile")
+        m.observe("tile_nnz", 3, buckets=(4,), kind="sparse")
+        m.observe("tile_nnz", 200, buckets=(4,), kind="dense")
+        lines = m.to_prometheus().splitlines()
+        assert lines.count("# TYPE tile_nnz histogram") == 1
+        assert lines.count("# TYPE tile_nnz_sum counter") == 1
+        assert lines.count("# TYPE tile_nnz_count counter") == 1
+        # TYPE precedes every series of its family, once.
+        assert lines.index("# TYPE tile_nnz histogram") < lines.index(
+            'tile_nnz_bucket{kind="dense",le="4"} 0'
+        )
+        assert 'tile_nnz_count{kind="sparse"} 1' in lines
+        assert 'tile_nnz_sum{kind="dense"} 200' in lines
+        assert "# HELP tile_nnz_sum nnz per tile (sum of observations)" in lines
+
     def test_snapshot_deterministic_under_fault_plan(self):
         """Same seeded plan + same input => byte-identical metrics."""
 
