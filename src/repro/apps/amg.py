@@ -20,8 +20,8 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
-from repro.baselines.base import get_algorithm
 from repro.formats.csr import CSRMatrix
+from repro.runtime.tilecache import cached_algorithm
 
 __all__ = [
     "AMGLevel",
@@ -114,7 +114,7 @@ def smoothed_prolongator(
     if np.any(diag == 0):
         raise ValueError("smoothed aggregation needs a nonzero diagonal")
     scaled = a.scale_rows(omega / diag)  # omega * D^-1 A
-    spgemm = get_algorithm(method)
+    spgemm = cached_algorithm(method)
     ap = spgemm(scaled, tentative).c
     # P = P_tent - (omega D^-1 A) P_tent
     from repro.apps.sparse_ops import add
@@ -127,7 +127,7 @@ def galerkin_product(
     a: CSRMatrix, p: CSRMatrix, method: str = "tilespgemm"
 ) -> CSRMatrix:
     """The Galerkin coarse operator ``P^T A P`` via two SpGEMMs."""
-    spgemm: Callable = get_algorithm(method)
+    spgemm: Callable = cached_algorithm(method)
     ap = spgemm(a, p).c
     r = p.transpose()
     return spgemm(r, ap).c
@@ -159,7 +159,7 @@ def build_hierarchy(
     """
     if a.shape[0] != a.shape[1]:
         raise ValueError("AMG needs a square operator")
-    spgemm = get_algorithm(method)
+    spgemm = cached_algorithm(method)
     levels = [AMGLevel(a=a)]
     current = a
     for level in range(max_levels - 1):

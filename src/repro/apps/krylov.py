@@ -63,7 +63,11 @@ def conjugate_gradient(
     b = np.asarray(b, dtype=np.float64)
     if b.shape != (a.shape[0],):
         raise ValueError("right-hand side length mismatch")
-    at = TileMatrix.from_csr(a)
+    # Repeated solves with the same operator (e.g. a time-stepping loop)
+    # reuse one tiled form through the content-addressed cache.
+    from repro.runtime.tilecache import get_tile_cache
+
+    at = get_tile_cache().tile(a)
     apply_m = preconditioner if preconditioner is not None else (lambda r: r)
 
     x = np.zeros_like(b) if x0 is None else np.asarray(x0, dtype=np.float64).copy()

@@ -15,8 +15,8 @@ from typing import List
 import numpy as np
 
 from repro.apps.sparse_ops import add, elementwise_power, normalize_columns
-from repro.baselines.base import get_algorithm
 from repro.formats.csr import CSRMatrix
+from repro.runtime.tilecache import cached_algorithm
 
 __all__ = ["MCLResult", "markov_clustering"]
 
@@ -67,7 +67,7 @@ def markov_clustering(
         raise ValueError("MCL needs a square adjacency matrix")
     if a.nnz and a.val.min() < 0:
         raise ValueError("MCL needs non-negative weights")
-    spgemm = get_algorithm(method)
+    spgemm = cached_algorithm(method)
     m = normalize_columns(_self_looped(a))
     total_flops = 0
     converged = False

@@ -126,6 +126,13 @@ SUITES: Dict[str, SuiteSpec] = {
         _tsparse_specs,
         methods=("tilespgemm", "tsparse"),
     ),
+    "parallel": SuiteSpec(
+        "parallel",
+        "the ext matrices, serial TileSpGEMM vs the sharded engine at 2 "
+        "and 4 workers (scaling of repro.runtime.parallel)",
+        _ext_specs,
+        methods=("tilespgemm", "tilespgemm_par2", "tilespgemm_par4"),
+    ),
 }
 
 
@@ -230,7 +237,9 @@ class BenchRunner:
     ) -> Dict[str, Any]:
         cfg = self.config
         kwargs: Dict[str, Any] = {}
-        if method == "tilespgemm":
+        if method.startswith("tilespgemm"):
+            # Every tiled variant (serial and the parallel adapters) takes
+            # pre-tiled operands, keeping conversion out of the timed region.
             kwargs["a_tiled"] = _tiled_of(a)
             kwargs["b_tiled"] = _tiled_of(a) if op == "aa" else _tiled_of(b)
         fn = get_algorithm(method)

@@ -14,6 +14,11 @@ Beyond the artifact, the CLI exposes the resilient runtime::
 
     python -m repro --memory-budget 64K --resilient path/to/matrix.mtx
 
+the sharded parallel engine (see docs/PARALLEL.md; output stays
+byte-identical to the serial run)::
+
+    python -m repro --workers 4 --executor thread path/to/matrix.mtx
+
 and the observability layer (see docs/OBSERVABILITY.md)::
 
     python -m repro --trace t.json --metrics m.prom --profile path/to/matrix.mtx
@@ -130,6 +135,22 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run under the resilient runtime: chunked re-execution on OOM "
         "and the algorithm fallback ladder (see docs/RESILIENCE.md)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the multiply on the sharded parallel engine with N pool "
+        "workers (0 = one per CPU); defaults to $REPRO_WORKERS, else "
+        "serial (see docs/PARALLEL.md)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default=None,
+        help="pool kind for --workers; defaults to $REPRO_EXECUTOR, else "
+        "'thread'",
     )
     parser.add_argument(
         "--trace",
@@ -285,7 +306,30 @@ def _run(args, device, tracer, metrics) -> int:
         num_tiles_c = rr.c.num_tiles if isinstance(rr.c, TileMatrix) else 0
         measured_gflops = result.gflops()
     else:
-        result = tile_spgemm(at, bt, budget_bytes=args.memory_budget)
+        from repro.runtime.parallel import parallel_tile_spgemm, resolve_workers
+
+        workers = resolve_workers(args.workers)
+        if workers > 1:
+            result = parallel_tile_spgemm(
+                at,
+                bt,
+                workers=workers,
+                executor=args.executor,
+                budget_bytes=args.memory_budget,
+            )
+            say(
+                f"parallel run: workers={result.stats.get('workers')} "
+                f"shards={result.stats.get('shards')} "
+                f"executor={result.stats.get('executor')}"
+            )
+            doc["parallel"] = {
+                "workers": result.stats.get("workers"),
+                "shards": result.stats.get("shards"),
+                "executor": result.stats.get("executor"),
+                "fallback": bool(result.stats.get("parallel_fallback", False)),
+            }
+        else:
+            result = tile_spgemm(at, bt, budget_bytes=args.memory_budget)
         result_c_csr = result.c.to_csr()
         timer, alloc = result.timer, result.alloc
         adapter = get_algorithm("tilespgemm")(a, b, a_tiled=at, b_tiled=bt)

@@ -26,7 +26,7 @@ from repro.core.spmv import csr_spmv, tile_spmv
 from repro.core.sptrsv import LevelScheduleStats, level_schedule, sptrsv
 from repro.core.step1 import TileLayout, step1_tile_layout, symbolic_spgemm_pattern
 from repro.core.step2 import SymbolicResult, step2_symbolic
-from repro.core.step3 import DEFAULT_TNNZ, NumericResult, step3_numeric
+from repro.core.step3 import DEFAULT_TNNZ, NumericResult, default_tnnz, step3_numeric
 from repro.core.tile_matrix import TILE, TileMatrix, mask_dtype_for
 from repro.core.tilespgemm import TileSpGEMMResult, tile_spgemm, tile_spgemm_from_csr
 
@@ -40,6 +40,7 @@ __all__ = [
     "NumericResult",
     "TileSpGEMMResult",
     "DEFAULT_TNNZ",
+    "default_tnnz",
     "tile_spgemm",
     "tile_spgemm_from_csr",
     "masked_tile_spgemm",

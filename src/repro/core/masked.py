@@ -20,11 +20,13 @@ validated against dense masking in the tests.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.core.pairs import TilePairs, enumerate_pairs_expand
 from repro.core.step2 import SymbolicResult, step2_symbolic
-from repro.core.step3 import DEFAULT_TNNZ, step3_numeric
+from repro.core.step3 import step3_numeric
 from repro.core.tile_matrix import TileMatrix
 from repro.core.tilespgemm import TileSpGEMMResult, _tileptr_from_rows, collect_stats
 from repro.core.step1 import TileLayout
@@ -57,7 +59,7 @@ def masked_tile_spgemm(
     a: TileMatrix,
     b: TileMatrix,
     mask: TileMatrix,
-    tnnz: int = DEFAULT_TNNZ,
+    tnnz: Optional[int] = None,
     keep_empty_tiles: bool = False,
 ) -> TileSpGEMMResult:
     """Compute ``C = (A @ B) .* pattern(M)`` entirely in tiled form.
@@ -71,7 +73,8 @@ def masked_tile_spgemm(
         value) survive in ``C``.  Must have the product's shape and the
         same tile size.
     tnnz:
-        Adaptive-accumulator threshold, as in :func:`tile_spgemm`.
+        Adaptive-accumulator threshold, as in :func:`tile_spgemm`
+        (``None`` resolves to the tile size's 75 %-of-capacity default).
     keep_empty_tiles:
         Masked products produce many empty candidate tiles; they are
         compacted away by default.

@@ -22,8 +22,8 @@ Python analogue of the kernels' bounded shared-memory working set.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -33,10 +33,30 @@ from repro.core.tile_matrix import TileMatrix
 from repro.util.arrays import concat_ranges, segment_positions
 from repro.util.bits import nth_set_bit, prefix_popcount
 
-__all__ = ["NumericResult", "step3_numeric", "DEFAULT_TNNZ", "c_indices_from_masks"]
+__all__ = [
+    "NumericResult",
+    "step3_numeric",
+    "DEFAULT_TNNZ",
+    "default_tnnz",
+    "c_indices_from_masks",
+]
 
 #: The paper's accumulator-selection threshold: 75 % of a 16x16 tile.
 DEFAULT_TNNZ: int = 192
+
+
+def default_tnnz(tile_size: int) -> int:
+    """The accumulator-selection threshold for a given tile size.
+
+    The paper fixes 192 for its 16x16 tiles — 75 % of the tile's 256-slot
+    capacity.  The same ratio is applied to other tile sizes so that the
+    adaptive accumulator and the cost model's sparse/dense prediction
+    (:mod:`repro.gpu.costmodel`) agree for every ``tile_size``, not just
+    the paper's 16.
+    """
+    if tile_size == 16:
+        return DEFAULT_TNNZ
+    return (3 * tile_size * tile_size) // 4
 
 
 @dataclass
@@ -62,7 +82,8 @@ class NumericResult:
     num_products: int
     sparse_tiles: int
     dense_tiles: int
-    use_dense: np.ndarray = None  #: per-candidate-tile accumulator choice
+    #: per-candidate-tile accumulator choice (``None`` until the phase ran)
+    use_dense: Optional[np.ndarray] = field(default=None)
 
 
 def c_indices_from_masks(sym: SymbolicResult, tile_size: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -88,7 +109,7 @@ def step3_numeric(
     b: TileMatrix,
     pairs: TilePairs,
     sym: SymbolicResult,
-    tnnz: int = DEFAULT_TNNZ,
+    tnnz: Optional[int] = None,
     chunk_products: int = 1 << 22,
     force_accumulator: str | None = None,
     mask_filter: bool = False,
@@ -105,9 +126,10 @@ def step3_numeric(
     sym:
         Symbolic structure of ``C`` from step 2.
     tnnz:
-        Accumulator-selection threshold (paper: 192 for 16x16 tiles; the
-        same 75 %-of-capacity ratio is used for smaller tile sizes when the
-        caller does not override).
+        Accumulator-selection threshold.  ``None`` (the default) resolves
+        to :func:`default_tnnz` — the paper's 192 for 16x16 tiles and the
+        same 75 %-of-capacity ratio for other tile sizes, matching the
+        cost model's sparse/dense prediction.
     chunk_products:
         Upper bound on intermediate products expanded at once.
     force_accumulator:
@@ -127,6 +149,8 @@ def step3_numeric(
         the tensor cores' wider accumulator).
     """
     T = a.tile_size
+    if tnnz is None:
+        tnnz = default_tnnz(T)
     num_c = pairs.num_c_tiles
     nnz_c = sym.nnz
     val_c = np.zeros(nnz_c, dtype=np.float64)
@@ -159,14 +183,29 @@ def step3_numeric(
     total_products = int(pair_products.sum())
 
     # --- chunked expansion + scatter-add --------------------------------
+    # Chunk ends are rounded down to C-tile boundaries (``pairs.pair_ptr``)
+    # whenever that still makes progress, so no tile's products straddle a
+    # chunk.  A tile's accumulation order then depends only on its own pair
+    # sequence and the chunk budget — never on which other tiles share the
+    # run — which is what makes chunked re-execution and sharded parallel
+    # execution bit-identical to the single-shot product.  A single tile
+    # whose products exceed the budget is chunked internally at tile-local
+    # offsets, which are equally partition-invariant.
     start = 0
     num_pairs = pairs.num_pairs
     csum = np.zeros(num_pairs + 1, dtype=np.int64)
     np.cumsum(pair_products, out=csum[1:])
+    tile_bounds = pairs.pair_ptr
     while start < num_pairs:
         end = int(np.searchsorted(csum, csum[start] + chunk_products, side="left"))
         end = max(end, start + 1)
         end = min(end, num_pairs)
+        if end < num_pairs:
+            aligned = int(
+                tile_bounds[np.searchsorted(tile_bounds, end, side="right") - 1]
+            )
+            if aligned > start:
+                end = aligned
         _accumulate_chunk(
             a, b, pairs, sym, val_c, dense_buf, use_dense, dense_slot,
             pair_c_slot, a_counts, b_row_len, b_row_start, start, end, T,

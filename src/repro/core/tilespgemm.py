@@ -26,7 +26,7 @@ import numpy as np
 from repro.core.pairs import TilePairs, enumerate_pairs_expand, enumerate_pairs_intersect
 from repro.core.step1 import TileLayout, step1_tile_layout
 from repro.core.step2 import SymbolicResult, step2_symbolic
-from repro.core.step3 import DEFAULT_TNNZ, NumericResult, step3_numeric
+from repro.core.step3 import NumericResult, default_tnnz, step3_numeric
 from repro.core.tile_matrix import TILE, TileMatrix
 from repro.errors import InvalidInputError
 from repro.obs.context import current_obs
@@ -95,7 +95,7 @@ class TileSpGEMMResult:
 def tile_spgemm(
     a: TileMatrix,
     b: TileMatrix,
-    tnnz: int = DEFAULT_TNNZ,
+    tnnz: Optional[int] = None,
     step1_method: str = "expand",
     intersect_method: str = "expand",
     force_accumulator: Optional[str] = None,
@@ -112,7 +112,9 @@ def tile_spgemm(
         Inputs in tiled form with equal tile sizes (the paper assumes the
         tiled format is the resident format, e.g. across AMG levels).
     tnnz:
-        Adaptive-accumulator threshold (paper default 192).
+        Adaptive-accumulator threshold; ``None`` resolves to
+        :func:`~repro.core.step3.default_tnnz` (the paper's 192 for 16x16
+        tiles, the same 75 %-of-capacity ratio for other tile sizes).
     step1_method:
         ``"expand"`` (vectorised) or ``"hash"`` (NSPARSE-like, the paper's
         choice) for the tile-layout symbolic SpGEMM.
@@ -165,7 +167,7 @@ def tile_spgemm(
 def _tile_spgemm_under_context(
     a: TileMatrix,
     b: TileMatrix,
-    tnnz: int,
+    tnnz: Optional[int],
     step1_method: str,
     intersect_method: str,
     force_accumulator: Optional[str],
@@ -175,6 +177,8 @@ def _tile_spgemm_under_context(
     timer = PhaseTimer()
     alloc = AllocationTracker()
     T = a.tile_size
+    if tnnz is None:
+        tnnz = default_tnnz(T)
     obs = current_obs()
     tracer = obs.tracer
 

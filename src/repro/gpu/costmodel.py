@@ -281,7 +281,9 @@ def _estimate_tilespgemm(result: SpGEMMResult, device: DeviceModel) -> GPUEstima
         if use_dense is not None and np.asarray(use_dense).size == products_per_tile.size:
             dense = np.asarray(use_dense, dtype=bool)
         else:
-            tnnz = 192.0 * (float(s.get("tile_size", 16)) / 16.0) ** 2
+            from repro.core.step3 import default_tnnz
+
+            tnnz = float(default_tnnz(int(s.get("tile_size", 16))))
             dense = tile_nnz > tnnz if tile_nnz.size == products_per_tile.size else np.zeros(
                 products_per_tile.size, dtype=bool
             )
@@ -520,10 +522,15 @@ def estimate_run(result: SpGEMMResult, device: DeviceModel) -> GPUEstimate:
     device:
         Target device model.
     """
-    try:
-        estimator = _ESTIMATORS[result.method]
-    except KeyError:
+    method = result.method
+    estimator = _ESTIMATORS.get(method)
+    if estimator is None and method.startswith("tilespgemm"):
+        # The sharded parallel variants (tilespgemm_par2, ...) execute the
+        # same kernels as the serial engine and their merged stats equal
+        # one serial run's totals, so they share its cost profile.
+        estimator = _ESTIMATORS["tilespgemm"]
+    if estimator is None:
         raise KeyError(
-            f"no cost model for method {result.method!r}; known: {sorted(_ESTIMATORS)}"
-        ) from None
+            f"no cost model for method {method!r}; known: {sorted(_ESTIMATORS)}"
+        )
     return estimator(result, device)

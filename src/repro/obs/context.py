@@ -12,14 +12,18 @@ singletons, so un-instrumented runs pay one list lookup per site and
 nothing else.  Contexts nest; fields left ``None`` inherit from the
 enclosing context.
 
-Like the execution context, the stack is plain module state (the
-execution model is single-threaded by construction), and the module
-imports nothing from the rest of the package, so every layer can depend
-on it without cycles.
+Like the execution context, the stack is **per-thread**
+(:class:`threading.local`): pool workers of the sharded parallel engine
+start with an empty stack and therefore report to :data:`NULL_OBS` —
+a :class:`~repro.obs.trace.Tracer` is not safe to drive from several
+threads, so the engine records per-shard spans and merged metrics from
+the coordinating thread instead.  The module imports nothing from the
+rest of the package, so every layer can depend on it without cycles.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, List, Optional
@@ -62,12 +66,20 @@ class ObsContext:
 #: The default, disabled context returned outside any ``obs_context``.
 NULL_OBS = ObsContext()
 
-_STACK: List[ObsContext] = []
+class _ThreadStack(threading.local):
+    """Per-thread context stack; every thread starts empty."""
+
+    def __init__(self) -> None:
+        self.items: List[ObsContext] = []
+
+
+_STACK = _ThreadStack()
 
 
 def current_obs() -> ObsContext:
-    """The innermost active context, or :data:`NULL_OBS`."""
-    return _STACK[-1] if _STACK else NULL_OBS
+    """The innermost active context of this thread, or :data:`NULL_OBS`."""
+    items = _STACK.items
+    return items[-1] if items else NULL_OBS
 
 
 def make_obs(trace: bool = True, metrics: bool = True, clock=None) -> ObsContext:
@@ -103,8 +115,8 @@ def obs_context(
         metrics = parent.metrics
     enabled = not isinstance(tracer, NullTracer) or not isinstance(metrics, NullMetrics)
     ctx = ObsContext(tracer=tracer, metrics=metrics, enabled=enabled)
-    _STACK.append(ctx)
+    _STACK.items.append(ctx)
     try:
         yield ctx
     finally:
-        _STACK.pop()
+        _STACK.items.pop()

@@ -9,13 +9,18 @@ The production-facing wrapper around the SpGEMM engines:
 * :mod:`repro.runtime.chunked` — chunked tile-row re-execution under a
   budget, stitching a bit-identical result;
 * :mod:`repro.runtime.policy` — retry/backoff/fallback engine
-  (:func:`run_resilient`) returning a :class:`ResilienceReport`.
+  (:func:`run_resilient`) returning a :class:`ResilienceReport`;
+* :mod:`repro.runtime.parallel` — sharded execution on a thread or
+  process pool (:func:`parallel_tile_spgemm`, :func:`spgemm_batch`),
+  byte-identical to serial;
+* :mod:`repro.runtime.tilecache` — content-hash-keyed LRU cache of tiled
+  operands for repeated multiplies.
 
-See ``docs/RESILIENCE.md`` for the design.
+See ``docs/RESILIENCE.md`` and ``docs/PARALLEL.md`` for the designs.
 
-``chunked`` and ``policy`` import the core algorithm, so they are loaded
-lazily (PEP 562) — the core itself can import :mod:`~repro.runtime.context`
-without a cycle.
+``chunked``, ``policy`` and ``parallel`` import the core algorithm, so
+they are loaded lazily (PEP 562) — the core itself can import
+:mod:`~repro.runtime.context` without a cycle.
 """
 
 from __future__ import annotations
@@ -45,21 +50,43 @@ __all__ = [
     # lazily loaded:
     "chunked_tile_spgemm",
     "slice_tile_rows",
+    "batch_bounds",
+    "stitch_results",
     "RetryPolicy",
+    "ParallelPolicy",
     "AttemptRecord",
     "ResilienceReport",
     "ResilientResult",
     "run_resilient",
+    "parallel_tile_spgemm",
+    "spgemm_batch",
+    "resolve_workers",
+    "resolve_executor",
+    "TileCache",
+    "get_tile_cache",
+    "reset_tile_cache",
+    "cached_algorithm",
 ]
 
 _LAZY = {
     "chunked_tile_spgemm": "repro.runtime.chunked",
     "slice_tile_rows": "repro.runtime.chunked",
+    "batch_bounds": "repro.runtime.chunked",
+    "stitch_results": "repro.runtime.chunked",
     "RetryPolicy": "repro.runtime.policy",
+    "ParallelPolicy": "repro.runtime.policy",
     "AttemptRecord": "repro.runtime.policy",
     "ResilienceReport": "repro.runtime.policy",
     "ResilientResult": "repro.runtime.policy",
     "run_resilient": "repro.runtime.policy",
+    "parallel_tile_spgemm": "repro.runtime.parallel",
+    "spgemm_batch": "repro.runtime.parallel",
+    "resolve_workers": "repro.runtime.parallel",
+    "resolve_executor": "repro.runtime.parallel",
+    "TileCache": "repro.runtime.tilecache",
+    "get_tile_cache": "repro.runtime.tilecache",
+    "reset_tile_cache": "repro.runtime.tilecache",
+    "cached_algorithm": "repro.runtime.tilecache",
 }
 
 

@@ -32,7 +32,7 @@ from repro.obs.context import current_obs
 from repro.util.alloc import AllocationTracker
 from repro.util.timing import PhaseTimer
 
-__all__ = ["slice_tile_rows", "chunked_tile_spgemm"]
+__all__ = ["slice_tile_rows", "batch_bounds", "stitch_results", "chunked_tile_spgemm"]
 
 #: Stats entries that are scalar totals, summed across batches.
 _SCALAR_KEYS = (
@@ -86,6 +86,17 @@ def slice_tile_rows(a: TileMatrix, r0: int, r1: int) -> TileMatrix:
         a.mask[t0:t1],
         check=False,
     )
+
+
+def batch_bounds(num_tile_rows: int, num_batches: int) -> np.ndarray:
+    """Tile-row boundaries splitting ``[0, num_tile_rows)`` into
+    ``num_batches`` contiguous, near-equal batches.
+
+    The same boundary rule serves chunked re-execution and the sharded
+    parallel engine (:mod:`repro.runtime.parallel`), so a "shard" and a
+    "batch" of the same count cover identical tile-row ranges.
+    """
+    return np.linspace(0, num_tile_rows, num_batches + 1).astype(np.int64)
 
 
 def chunked_tile_spgemm(
@@ -143,7 +154,7 @@ def chunked_tile_spgemm(
         return result
 
     obs = current_obs()
-    bounds = np.linspace(0, num_tile_rows, num_batches + 1).astype(np.int64)
+    bounds = batch_bounds(num_tile_rows, num_batches)
     batch_results: List[TileSpGEMMResult] = []
     with obs.tracer.span(
         "chunked_tile_spgemm", cat="chunked", batches=num_batches
@@ -169,16 +180,22 @@ def chunked_tile_spgemm(
             if obs.enabled:
                 obs.metrics.inc("chunked_batches_total")
 
-    return _stitch(batch_results, a, b, keep_empty_tiles)
+    return stitch_results(batch_results, a, b, keep_empty_tiles)
 
 
-def _stitch(
+def stitch_results(
     batches: List[TileSpGEMMResult],
     a: TileMatrix,
     b: TileMatrix,
     keep_empty_tiles: bool,
 ) -> TileSpGEMMResult:
-    """Assemble the global result from per-batch results (tile-row order)."""
+    """Assemble the global result from per-batch results (tile-row order).
+
+    The pieces must cover ``a``'s tile rows contiguously in order; the
+    assembled arrays are then byte-identical to a single-shot run's (see
+    the module docstring).  Shared by :func:`chunked_tile_spgemm` and the
+    order-preserving merge of :mod:`repro.runtime.parallel`.
+    """
     T = a.tile_size
 
     # --- C: concatenate the per-batch pieces (already in global order).

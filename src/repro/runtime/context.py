@@ -13,13 +13,18 @@ without creating an import cycle.  Contexts nest: fields left ``None``
 inherit from the enclosing context, so ``run_resilient`` can set a budget
 once and per-batch re-executions refine it.
 
-The stack is plain module state, not thread-local: the execution model is
-single-threaded by construction (it models one GPU), and keeping it a list
-makes the semantics of the tests trivially reproducible.
+The stack is **per-thread** (:class:`threading.local`): the sharded
+parallel engine (:mod:`repro.runtime.parallel`) runs shards on worker
+threads, and a worker pushing/popping a shared stack would race with its
+siblings.  Each thread starts with an empty stack, so pool workers inherit
+nothing ambient — budgets and fault plans reach a shard as the explicit
+``budget_bytes``/``fault_plan`` arguments the engine forwards.  Within one
+thread the semantics are unchanged: a plain list, innermost context last.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional
@@ -52,12 +57,20 @@ class ExecutionContext:
     fault_plan: Optional[Any] = None
 
 
-_STACK: List[ExecutionContext] = []
+class _ThreadStack(threading.local):
+    """Per-thread context stack; every thread starts empty."""
+
+    def __init__(self) -> None:
+        self.items: List[ExecutionContext] = []
+
+
+_STACK = _ThreadStack()
 
 
 def current_context() -> Optional[ExecutionContext]:
-    """The innermost active context, or ``None`` outside any."""
-    return _STACK[-1] if _STACK else None
+    """The innermost active context of this thread, or ``None``."""
+    items = _STACK.items
+    return items[-1] if items else None
 
 
 def current_budget_bytes() -> Optional[int]:
@@ -89,11 +102,11 @@ def execution_context(
         if fault_plan is None:
             fault_plan = parent.fault_plan
     ctx = ExecutionContext(budget_bytes=budget_bytes, fault_plan=fault_plan)
-    _STACK.append(ctx)
+    _STACK.items.append(ctx)
     try:
         yield ctx
     finally:
-        _STACK.pop()
+        _STACK.items.pop()
 
 
 def note_step(name: str, fault_plan: Optional[Any] = None) -> None:

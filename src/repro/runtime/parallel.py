@@ -1,0 +1,466 @@
+"""Sharded parallel execution engine: TileSpGEMM on a worker pool.
+
+The candidate-C-tile space shards exactly like it chunks: tile row ``i``
+of ``C`` depends only on tile row ``i`` of ``A`` (and all of ``B``), so
+the engine cuts ``A``'s tile rows into contiguous shards with the same
+boundary rule as chunked re-execution
+(:func:`~repro.runtime.chunked.batch_bounds`), runs each shard's
+step-2 symbolic + step-3 numeric phases as an independent task on a
+:mod:`concurrent.futures` pool, and merges the per-shard results with the
+order-preserving stitch (:func:`~repro.runtime.chunked.stitch_results`).
+
+**Determinism.**  The merged result is byte-identical to the serial run —
+indices, values and tile structure.  Two properties make that true: the
+stitch concatenates shard outputs in tile-row order, and the numeric
+phase chunks its product stream at C-tile boundaries
+(:func:`repro.core.step3.step3_numeric`), so each tile's accumulation
+order is independent of how the tile-row space was partitioned.  The
+test suite asserts exact equality of all eight output arrays for both
+executors.
+
+**Executors.**  ``executor="thread"`` shares the operands by reference;
+``executor="process"`` ships ``B`` and the options to each worker once
+via the pool initializer and sends only the per-task ``A`` shard.  Pool
+workers run with an empty ambient context (both context stacks are
+thread-local), so budgets and fault plans reach a shard only as the
+explicit arguments the engine forwards, and workers never race on the
+coordinator's tracer — per-shard spans are recorded by the coordinating
+thread from worker-reported timings.
+
+**Failure.**  A shard raising
+:class:`~repro.errors.TransientKernelError`, or the pool breaking
+outright, is handled by the :class:`~repro.runtime.policy.ParallelPolicy`:
+retry the shard, then fall back to the serial engine (or raise).  See
+``docs/PARALLEL.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.tile_matrix import TileMatrix
+from repro.core.tilespgemm import TileSpGEMMResult, _record_obs_metrics, tile_spgemm
+from repro.errors import InvalidInputError, TransientKernelError
+from repro.obs.context import current_obs
+from repro.runtime.chunked import batch_bounds, slice_tile_rows, stitch_results
+from repro.runtime.policy import ParallelPolicy
+from repro.runtime.tilecache import get_tile_cache
+
+__all__ = [
+    "ENV_WORKERS",
+    "ENV_EXECUTOR",
+    "resolve_workers",
+    "resolve_executor",
+    "parallel_tile_spgemm",
+    "spgemm_batch",
+]
+
+#: Environment knobs consulted when the caller passes ``None``.
+ENV_WORKERS = "REPRO_WORKERS"
+ENV_EXECUTOR = "REPRO_EXECUTOR"
+
+_EXECUTORS = ("thread", "process")
+
+#: Shards per worker: a little oversharding evens out load imbalance
+#: between tile rows without shrinking shards into stitch overhead.
+_SHARDS_PER_WORKER = 2
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The effective worker count: argument, else ``REPRO_WORKERS``, else 1.
+
+    ``0`` (from either source) means "auto": the number of CPUs this
+    process may run on.  The result is always >= 1; ``1`` selects the
+    serial engine.
+    """
+    if workers is None:
+        env = os.environ.get(ENV_WORKERS, "").strip()
+        if not env:
+            return 1
+        try:
+            workers = int(env)
+        except ValueError:
+            raise InvalidInputError(f"{ENV_WORKERS} must be an integer, got {env!r}")
+    workers = int(workers)
+    if workers < 0:
+        raise InvalidInputError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except AttributeError:  # non-Linux
+            return max(1, os.cpu_count() or 1)
+    return workers
+
+
+def resolve_executor(executor: Optional[str] = None) -> str:
+    """The effective executor kind: argument, else ``REPRO_EXECUTOR``,
+    else ``"thread"``."""
+    if executor is None:
+        executor = os.environ.get(ENV_EXECUTOR, "").strip() or "thread"
+    executor = executor.lower()
+    if executor not in _EXECUTORS:
+        raise InvalidInputError(
+            f"executor must be one of {_EXECUTORS}, got {executor!r}"
+        )
+    return executor
+
+
+# ----------------------------------------------------------------------
+# Worker-side task bodies
+# ----------------------------------------------------------------------
+# Process workers receive B and the shared options once, through the pool
+# initializer, so each task pickles only its A shard.
+_WORKER_B: Optional[TileMatrix] = None
+_WORKER_OPTS: Dict[str, object] = {}
+
+
+def _init_worker(b: TileMatrix, opts: Dict[str, object]) -> None:
+    global _WORKER_B, _WORKER_OPTS
+    _WORKER_B = b
+    _WORKER_OPTS = opts
+
+
+def _run_shard(a_shard: TileMatrix, b: TileMatrix, opts: Dict[str, object]):
+    """One shard's multiply, timed with the system-wide monotonic clock.
+
+    Returns ``(result, start, end, track)`` where ``track`` names the
+    worker (thread name or worker PID) for the per-shard trace span.
+    ``pairs``/``symbolic`` are dropped: the stitch never reads them and
+    they dominate the pickling cost on the process pool.
+    """
+    start = time.perf_counter()
+    res = tile_spgemm(a_shard, b, keep_empty_tiles=True, **opts)
+    res.pairs = None
+    res.symbolic = None
+    if _WORKER_B is not None:  # a process-pool worker
+        track = f"worker-pid-{os.getpid()}"
+    else:
+        track = threading.current_thread().name
+    return res, start, time.perf_counter() - start, track
+
+
+def _run_shard_in_process(a_shard: TileMatrix):
+    return _run_shard(a_shard, _WORKER_B, _WORKER_OPTS)
+
+
+def _run_pair_in_process(pair: Tuple[TileMatrix, TileMatrix]):
+    a, b = pair
+    res = tile_spgemm(a, b, **_WORKER_OPTS)
+    res.pairs = None
+    res.symbolic = None
+    return res
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+def parallel_tile_spgemm(
+    a: TileMatrix,
+    b: TileMatrix,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
+    shards: Optional[int] = None,
+    policy: Optional[ParallelPolicy] = None,
+    budget_bytes: Optional[int] = None,
+    fault_plan=None,
+    keep_empty_tiles: bool = True,
+    **kwargs,
+) -> TileSpGEMMResult:
+    """Multiply ``a @ b`` on a worker pool; byte-identical to serial.
+
+    Parameters
+    ----------
+    a, b:
+        Tiled operands, as for :func:`repro.core.tilespgemm.tile_spgemm`.
+    workers:
+        Pool size; ``None`` consults ``REPRO_WORKERS``, ``0`` means one
+        per available CPU, and ``1`` (the overall default) runs serially.
+    executor:
+        ``"thread"`` or ``"process"``; ``None`` consults
+        ``REPRO_EXECUTOR`` and defaults to ``"thread"``.
+    shards:
+        Number of contiguous tile-row shards (clamped to
+        ``a.num_tile_rows``); defaults to ``workers * 2`` so stragglers
+        can be balanced.
+    policy:
+        A :class:`~repro.runtime.policy.ParallelPolicy` governing shard
+        retries and the serial fallback (defaults apply when ``None``).
+    budget_bytes, fault_plan:
+        Forwarded to every shard explicitly — pool workers inherit no
+        ambient context.  On the process pool the fault plan is pickled
+        per worker, so its counters advance independently per process.
+    keep_empty_tiles:
+        As for ``tile_spgemm``; applied to the merged matrix.
+    **kwargs:
+        Remaining ``tile_spgemm`` options (``tnnz``, methods, dtype...).
+
+    Returns
+    -------
+    TileSpGEMMResult
+        With ``stats["shards"]``, ``stats["workers"]`` and
+        ``stats["executor"]`` describing the pool, and
+        ``stats["parallel_fallback"]`` set when a worker failure forced
+        the serial fallback.
+    """
+    if a.tile_size != b.tile_size:
+        raise InvalidInputError("A and B must use the same tile size")
+    if a.shape[1] != b.shape[0]:
+        raise InvalidInputError(
+            f"dimension mismatch: A is {a.shape[0]}x{a.shape[1]}, "
+            f"B is {b.shape[0]}x{b.shape[1]}"
+        )
+    workers = resolve_workers(workers)
+    executor = resolve_executor(executor)
+    policy = policy or ParallelPolicy()
+
+    num_tile_rows = a.num_tile_rows
+    if shards is None:
+        shards = workers * _SHARDS_PER_WORKER
+    num_shards = max(1, min(int(shards), max(num_tile_rows, 1)))
+
+    if workers <= 1 or num_shards <= 1:
+        res = tile_spgemm(
+            a,
+            b,
+            keep_empty_tiles=keep_empty_tiles,
+            budget_bytes=budget_bytes,
+            fault_plan=fault_plan,
+            **kwargs,
+        )
+        res.stats.update(shards=1, workers=1, executor="serial")
+        return res
+
+    opts = dict(kwargs)
+    opts["budget_bytes"] = budget_bytes
+    opts["fault_plan"] = fault_plan
+    bounds = batch_bounds(num_tile_rows, num_shards)
+    shard_inputs = [
+        slice_tile_rows(a, int(bounds[k]), int(bounds[k + 1]))
+        for k in range(num_shards)
+    ]
+
+    obs = current_obs()
+    with obs.tracer.span(
+        "parallel_tile_spgemm",
+        cat="parallel",
+        workers=workers,
+        shards=num_shards,
+        executor=executor,
+    ) as span:
+        pool_t0 = time.perf_counter()
+        try:
+            shard_outputs = _run_pool(
+                executor, workers, b, opts, shard_inputs, policy
+            )
+        except (TransientKernelError, BrokenExecutor) as exc:
+            if policy.on_worker_failure == "raise":
+                raise
+            if obs.enabled:
+                obs.metrics.inc("parallel_fallbacks_total", executor=executor)
+                obs.tracer.instant(
+                    "parallel_fallback",
+                    cat="parallel",
+                    executor=executor,
+                    error=type(exc).__name__,
+                )
+            res = tile_spgemm(
+                a,
+                b,
+                keep_empty_tiles=keep_empty_tiles,
+                budget_bytes=budget_bytes,
+                fault_plan=fault_plan,
+                **kwargs,
+            )
+            res.stats.update(
+                shards=1, workers=1, executor="serial", parallel_fallback=True
+            )
+            return res
+
+        if obs.enabled:
+            base = getattr(span, "start_s", 0.0) or 0.0
+            for k, (_, w_start, w_dur, track) in enumerate(shard_outputs):
+                r0, r1 = int(bounds[k]), int(bounds[k + 1])
+                obs.tracer.add_complete(
+                    f"shard {k + 1}/{num_shards}",
+                    base + max(w_start - pool_t0, 0.0),
+                    w_dur,
+                    pid="parallel",
+                    tid=track,
+                    cat="parallel.shard",
+                    tile_rows=[r0, r1],
+                )
+
+    merged = stitch_results(
+        [out[0] for out in shard_outputs], a, b, keep_empty_tiles
+    )
+    merged.stats.update(shards=num_shards, workers=workers, executor=executor)
+    if obs.enabled:
+        obs.metrics.inc("parallel_runs_total", executor=executor)
+        obs.metrics.inc("parallel_shards_total", num_shards)
+        obs.metrics.set_gauge("parallel_workers", workers)
+        obs.metrics.inc(
+            "parallel_shard_seconds_total",
+            sum(out[2] for out in shard_outputs),
+        )
+        _record_obs_metrics(obs.metrics, merged.stats)
+    return merged
+
+
+def _run_pool(
+    executor: str,
+    workers: int,
+    b: TileMatrix,
+    opts: Dict[str, object],
+    shard_inputs: List[TileMatrix],
+    policy: ParallelPolicy,
+):
+    """Submit every shard, collect results in shard order, retry per policy.
+
+    Raises the last shard error once retries are exhausted, and
+    :class:`~concurrent.futures.BrokenExecutor` as-is (a broken pool
+    cannot run retries) — the caller maps both onto the fallback.
+    """
+    if executor == "process":
+        pool = ProcessPoolExecutor(
+            max_workers=workers, initializer=_init_worker, initargs=(b, opts)
+        )
+        submit = lambda shard: pool.submit(_run_shard_in_process, shard)
+    else:
+        pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-shard"
+        )
+        submit = lambda shard: pool.submit(_run_shard, shard, b, opts)
+
+    with pool:
+        futures = [submit(shard) for shard in shard_inputs]
+        outputs = []
+        for k, fut in enumerate(futures):
+            attempt = 0
+            while True:
+                try:
+                    outputs.append(fut.result())
+                    break
+                except (InvalidInputError, BrokenExecutor):
+                    raise  # caller's bug / dead pool: retrying cannot help
+                except TransientKernelError:
+                    if attempt >= policy.max_shard_retries:
+                        raise
+                    attempt += 1
+                    fut = submit(shard_inputs[k])
+    return outputs
+
+
+# ----------------------------------------------------------------------
+# Batching front end
+# ----------------------------------------------------------------------
+def spgemm_batch(
+    pairs: Sequence[Tuple[object, object]],
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
+    policy: Optional[ParallelPolicy] = None,
+    tile_size: Optional[int] = None,
+    **kwargs,
+) -> List[TileSpGEMMResult]:
+    """Run many small multiplies on one pool, preserving input order.
+
+    The dual of sharding: instead of splitting one large multiply, each
+    ``(a, b)`` pair becomes one pool task — the natural shape for an AMG
+    setup phase (many small Galerkin products) or a batch of independent
+    graph contractions.  Results arrive in input order and each equals
+    its serial ``tile_spgemm(a, b, **kwargs)`` byte for byte.
+
+    Parameters
+    ----------
+    pairs:
+        ``(a, b)`` operand pairs; each operand may be a
+        :class:`~repro.core.tile_matrix.TileMatrix` or a CSR matrix.
+        CSR operands are tiled through the process-wide
+        :func:`~repro.runtime.tilecache.get_tile_cache`, so a matrix
+        appearing in several pairs is converted once.
+    workers, executor:
+        Pool configuration, resolved like
+        :func:`parallel_tile_spgemm` (``workers=1`` runs the batch
+        serially in order).
+    policy:
+        A :class:`~repro.runtime.policy.ParallelPolicy`; a task that
+        keeps failing after its retries is rerun serially on the
+        coordinating thread (or the error is raised, per
+        ``on_worker_failure``).
+    tile_size:
+        Tile size used when tiling CSR operands (default
+        :data:`~repro.core.tile_matrix.TILE`).
+    **kwargs:
+        ``tile_spgemm`` options applied to every pair.
+    """
+    workers = resolve_workers(workers)
+    executor = resolve_executor(executor)
+    policy = policy or ParallelPolicy()
+    cache = get_tile_cache()
+    ts = {} if tile_size is None else {"tile_size": tile_size}
+    tiled_pairs = [(cache.tile(a, **ts), cache.tile(b, **ts)) for a, b in pairs]
+
+    obs = current_obs()
+    if workers <= 1 or len(tiled_pairs) <= 1:
+        out = []
+        for a, b in tiled_pairs:
+            out.append(tile_spgemm(a, b, **kwargs))
+        return out
+
+    def _run_pair_local(pair):
+        a, b = pair
+        res = tile_spgemm(a, b, **kwargs)
+        res.pairs = None
+        res.symbolic = None
+        return res
+
+    if executor == "process":
+        pool = ProcessPoolExecutor(
+            max_workers=workers, initializer=_init_worker, initargs=(None, kwargs)
+        )
+        submit = lambda pair: pool.submit(_run_pair_in_process, pair)
+    else:
+        pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-batch"
+        )
+        submit = lambda pair: pool.submit(_run_pair_local, pair)
+
+    with obs.tracer.span(
+        "spgemm_batch",
+        cat="parallel",
+        size=len(tiled_pairs),
+        workers=workers,
+        executor=executor,
+    ):
+        with pool:
+            futures = [submit(pair) for pair in tiled_pairs]
+            out = []
+            for k, fut in enumerate(futures):
+                attempt = 0
+                while True:
+                    try:
+                        out.append(fut.result())
+                        break
+                    except InvalidInputError:
+                        raise
+                    except (TransientKernelError, BrokenExecutor) as exc:
+                        broken = isinstance(exc, BrokenExecutor)
+                        if not broken and attempt < policy.max_shard_retries:
+                            attempt += 1
+                            fut = submit(tiled_pairs[k])
+                            continue
+                        if policy.on_worker_failure == "raise":
+                            raise
+                        if obs.enabled:
+                            obs.metrics.inc(
+                                "parallel_fallbacks_total", executor=executor
+                            )
+                        out.append(_run_pair_local(tiled_pairs[k]))
+                        break
+    if obs.enabled:
+        obs.metrics.inc("spgemm_batch_runs_total", executor=executor)
+        obs.metrics.inc("spgemm_batch_tasks_total", len(tiled_pairs))
+    return out

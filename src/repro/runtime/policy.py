@@ -41,6 +41,7 @@ from repro.runtime.context import execution_context
 
 __all__ = [
     "RetryPolicy",
+    "ParallelPolicy",
     "AttemptRecord",
     "ResilienceReport",
     "ResilientResult",
@@ -75,6 +76,45 @@ class RetryPolicy:
     max_backoff_s: float = 1.0
     ladder: Tuple[str, ...] = DEFAULT_LADDER
     max_batches: int = 64
+
+
+@dataclass(frozen=True)
+class ParallelPolicy:
+    """How the sharded parallel engine reacts when a worker dies.
+
+    The engine (:func:`repro.runtime.parallel.parallel_tile_spgemm`)
+    treats two events as "worker death": a shard raising
+    :class:`~repro.errors.TransientKernelError` (the injectable fault) and
+    the pool itself breaking (a process worker killed mid-task).  The
+    response mirrors :class:`RetryPolicy`'s ladder in miniature — retry
+    the shard, then degrade to the serial engine, which is always correct
+    because the parallel result is byte-identical to it by construction.
+
+    Attributes
+    ----------
+    max_shard_retries:
+        Times a failed shard is resubmitted to the pool before the run
+        falls back.  Resubmission is pointless once the pool is broken,
+        so a broken pool skips straight to the fallback.
+    on_worker_failure:
+        ``"serial"`` (default) reruns the whole multiply serially on the
+        coordinating thread; ``"raise"`` propagates the failure to the
+        caller instead.
+    """
+
+    max_shard_retries: int = 1
+    on_worker_failure: str = "serial"
+
+    def __post_init__(self) -> None:
+        if self.on_worker_failure not in ("serial", "raise"):
+            raise InvalidInputError(
+                "on_worker_failure must be 'serial' or 'raise', "
+                f"got {self.on_worker_failure!r}"
+            )
+        if self.max_shard_retries < 0:
+            raise InvalidInputError(
+                f"max_shard_retries must be >= 0, got {self.max_shard_retries}"
+            )
 
 
 @dataclass(frozen=True)
