@@ -1,0 +1,151 @@
+"""The optional ``numba`` backend: JIT-compiled scalar kernels.
+
+Registered only when :mod:`numba` is importable (the registry probes
+:func:`numba_available`); on machines without it, ``list_backends()``
+simply omits ``"numba"`` and the conformance suite skips it.
+
+The kernels are *sequential* compiled loops, not ``prange`` + atomics,
+on purpose: parallel atomic float adds reorder the partial sums between
+runs, and the conformance contract (:mod:`repro.backend.base`) demands
+byte-identical float64 results.  A fixed input-order accumulation into a
+fresh buffer — the same operation sequence as ``np.bincount`` — is both
+deterministic and conformant, and the JIT still removes the Python
+interpreter overhead that makes ``pyloops`` slow.  ``fastmath`` stays
+off for the same reason: reassociation would change the last ulp.
+
+A CuPy backend is deliberately *not* shipped: ``cupyx.scatter_add`` runs
+on GPU atomics whose accumulation order is nondeterministic, so it
+cannot meet the byte-identity contract (it would need a sort-and-segment
+rewrite of step 3, a different project).  See ``docs/BACKENDS.md``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import numpy as np
+
+from repro.backend.base import KernelSet
+
+__all__ = ["NumbaKernelSet", "numba_available"]
+
+
+def numba_available() -> bool:
+    """True when the ``numba`` package can be imported."""
+    return importlib.util.find_spec("numba") is not None
+
+
+def _compile_kernels():
+    """JIT-compile the scalar kernels (deferred so import stays cheap)."""
+    from numba import njit
+
+    @njit(cache=True)
+    def mask_or(out, positions, masks):
+        for i in range(positions.size):
+            out[positions[i]] |= masks[i]
+
+    @njit(cache=True)
+    def popcount(flat, out):
+        for i in range(flat.size):
+            m = flat[i]
+            c = 0
+            while m:
+                c += m & 1
+                m >>= 1
+            out[i] = c
+
+    @njit(cache=True)
+    def prefix_popcount(masks, cols, out):
+        for i in range(masks.size):
+            m = masks[i] & ((1 << cols[i]) - 1)
+            c = 0
+            while m:
+                c += m & 1
+                m >>= 1
+            out[i] = c
+
+    @njit(cache=True)
+    def nth_set_bit(masks, ranks, out):
+        for i in range(masks.size):
+            m = masks[i]
+            r = ranks[i]
+            col = 255
+            seen = 0
+            for c in range(16):
+                if m & (1 << c):
+                    if seen == r:
+                        col = c
+                        break
+                    seen += 1
+            out[i] = col
+
+    @njit(cache=True)
+    def scatter_add(out, positions, weights):
+        # Fresh buffer + input-order accumulation + one final add: the
+        # np.bincount operation sequence, hence byte-identical results.
+        buf = np.zeros(out.size, dtype=out.dtype)
+        for i in range(positions.size):
+            buf[positions[i]] += weights[i]
+        for j in range(out.size):
+            out[j] += buf[j]
+
+    return mask_or, popcount, prefix_popcount, nth_set_bit, scatter_add
+
+
+class NumbaKernelSet(KernelSet):
+    """Numba-JIT scalar kernels (sequential, byte-identical by design)."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        super().__init__()
+        (
+            self._mask_or,
+            self._popcount,
+            self._prefix_popcount,
+            self._nth_set_bit,
+            self._scatter_add,
+        ) = _compile_kernels()
+
+    def mask_or_into(self, out, positions, masks):
+        self._tick("mask_or_into")
+        self._mask_or(
+            out,
+            np.ascontiguousarray(positions, dtype=np.int64),
+            np.ascontiguousarray(masks, dtype=out.dtype),
+        )
+
+    def popcount(self, masks):
+        self._tick("popcount")
+        arr = np.ascontiguousarray(masks, dtype=np.uint32)
+        out = np.empty(arr.size, dtype=np.uint8)
+        self._popcount(arr.reshape(-1), out)
+        return out.reshape(np.asarray(masks).shape)
+
+    def prefix_popcount(self, masks, cols):
+        self._tick("prefix_popcount")
+        m_arr, c_arr = np.broadcast_arrays(np.asarray(masks), np.asarray(cols))
+        shape = m_arr.shape
+        m_flat = np.ascontiguousarray(m_arr, dtype=np.uint32).reshape(-1)
+        c_flat = np.ascontiguousarray(c_arr, dtype=np.uint32).reshape(-1)
+        out = np.empty(m_flat.size, dtype=np.uint8)
+        self._prefix_popcount(m_flat, c_flat, out)
+        return out.reshape(shape)
+
+    def nth_set_bit(self, masks, ranks):
+        self._tick("nth_set_bit")
+        m_arr, r_arr = np.broadcast_arrays(np.asarray(masks), np.asarray(ranks))
+        shape = m_arr.shape
+        m_flat = np.ascontiguousarray(m_arr, dtype=np.uint32).reshape(-1)
+        r_flat = np.ascontiguousarray(r_arr, dtype=np.int64).reshape(-1)
+        out = np.empty(m_flat.size, dtype=np.uint8)
+        self._nth_set_bit(m_flat, r_flat, out)
+        return out.reshape(shape)
+
+    def scatter_add_into(self, out, positions, weights):
+        self._tick("scatter_add_into")
+        self._scatter_add(
+            out,
+            np.ascontiguousarray(positions, dtype=np.int64),
+            np.ascontiguousarray(weights, dtype=out.dtype),
+        )

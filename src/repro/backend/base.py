@@ -1,0 +1,127 @@
+"""The ``KernelSet`` contract: the hot inner kernels of the tile pipeline.
+
+TileSpGEMM's three steps spend essentially all of their time in four
+primitive kernels, and everything else (pair enumeration, chunking,
+stitching, bookkeeping) is orchestration around them:
+
+* **mask OR-accumulate** (:meth:`KernelSet.mask_or_into`) — step 2's
+  ``AtomicOr``: every nonzero of an ``A`` tile ORs a ``B`` row mask onto
+  a ``C`` row mask;
+* **popcount** (:meth:`KernelSet.popcount`) and **popcount rank**
+  (:meth:`KernelSet.prefix_popcount`) — the paper's ``__popc`` uses:
+  per-row nonzero counts and the sparse accumulator's within-row offset;
+* **scatter-add numeric accumulate** (:meth:`KernelSet.scatter_add_into`)
+  — step 3's ``AtomicAdd`` over expanded products;
+* **tile compaction** (:meth:`KernelSet.nth_set_bit`) — converting the
+  symbolic masks back into compacted local column indices.
+
+A *backend* is one implementation of these five methods.  The registry
+(:mod:`repro.backend`) lets the same pipeline run on any of them, and the
+conformance suite (``tests/test_backend_conformance.py``) enforces the
+contract below.
+
+Conformance contract
+--------------------
+Backends are interchangeable only if they are **byte-identical** to the
+``numpy`` reference, not merely numerically close:
+
+* ``popcount``, ``prefix_popcount`` and ``nth_set_bit`` return ``uint8``
+  arrays with the reference's shapes and sentinel values (``nth_set_bit``
+  yields 255 for ranks at or beyond the mask's popcount);
+* ``mask_or_into`` must be an unbuffered OR scatter (OR is idempotent and
+  commutative, so any ordering is conformant);
+* ``scatter_add_into(out, positions, weights)`` must equal
+  ``out += np.bincount(positions, weights, minlength=out.size)`` down to
+  the last bit: accumulate the weights *in input order* into a fresh
+  zero buffer, then add the buffer onto ``out`` elementwise.  Both the
+  input-order partial sums and the separate final add are observable in
+  the float64 results; a backend that adds directly into ``out`` (or
+  reassociates the partial sums) produces values that differ in the last
+  ulp and fails conformance.
+
+Every kernel invocation ticks ``KernelSet.calls[<kernel>]``; the tests
+and benches use the counters to prove which backend actually executed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["KernelSet", "KERNEL_NAMES"]
+
+#: The kernel methods every backend must provide (and counts calls of).
+KERNEL_NAMES = (
+    "mask_or_into",
+    "popcount",
+    "prefix_popcount",
+    "nth_set_bit",
+    "scatter_add_into",
+)
+
+
+class KernelSet:
+    """Base class for a named set of TileSpGEMM inner kernels.
+
+    Subclasses set :attr:`name` and implement the five kernels; the
+    module docstring states the exact conformance contract.  The base
+    class only provides the per-kernel call counters.
+    """
+
+    #: Registry name of the backend (``numpy``, ``pyloops``, ...).
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        #: Number of invocations per kernel since construction (or the
+        #: last :meth:`reset_calls`); proof-of-execution for the tests.
+        self.calls: Dict[str, int] = {k: 0 for k in KERNEL_NAMES}
+
+    def _tick(self, kernel: str) -> None:
+        self.calls[kernel] = self.calls.get(kernel, 0) + 1
+
+    def reset_calls(self) -> None:
+        """Zero the per-kernel invocation counters."""
+        for k in self.calls:
+            self.calls[k] = 0
+
+    @property
+    def total_calls(self) -> int:
+        return sum(self.calls.values())
+
+    # ------------------------------------------------------------ kernels
+    def mask_or_into(
+        self, out: np.ndarray, positions: np.ndarray, masks: np.ndarray
+    ) -> None:
+        """OR-accumulate ``masks`` into ``out`` at ``positions`` (step 2).
+
+        ``out`` is the flattened ``(num_c_tiles, T)`` mask array; repeated
+        positions must all land (the ``AtomicOr`` semantics).
+        """
+        raise NotImplementedError
+
+    def popcount(self, masks: np.ndarray) -> np.ndarray:
+        """Set-bit count of each 16-bit mask, as ``uint8`` of same shape."""
+        raise NotImplementedError
+
+    def prefix_popcount(self, masks: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Rank of bit ``cols`` in ``masks``: set bits strictly below it."""
+        raise NotImplementedError
+
+    def nth_set_bit(self, masks: np.ndarray, ranks: np.ndarray) -> np.ndarray:
+        """Column of the ``ranks``-th set bit (255 when out of range)."""
+        raise NotImplementedError
+
+    def scatter_add_into(
+        self, out: np.ndarray, positions: np.ndarray, weights: np.ndarray
+    ) -> None:
+        """``out += bincount(positions, weights, minlength=out.size)``.
+
+        The partial sums must be accumulated in input order into a fresh
+        zero buffer which is then added onto ``out`` — see the module
+        docstring's conformance contract.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<KernelSet {self.name!r}>"

@@ -31,7 +31,12 @@ __all__ = ["tilespgemm_adapter", "tilespgemm_par2_adapter", "tilespgemm_par4_ada
 def _run_adapter(method: str, engine, a, b, tile_size, a_tiled, b_tiled, kwargs):
     """Common adapter body: tile CSR inputs (outside the engine's timed
     phases when pre-tiled operands are passed, matching the paper's
-    resident-format assumption), run ``engine``, adapt the result."""
+    resident-format assumption), run ``engine``, adapt the result.
+
+    A ``backend=`` entry in ``kwargs`` (registered kernel-backend name or
+    :class:`~repro.backend.KernelSet`) flows through to the engine; the
+    engine records the resolved name in ``stats["backend"]``, so bench
+    documents and the conformance suite can see which kernels ran."""
     timer_extra = None
     if a_tiled is None or b_tiled is None:
         from repro.util.timing import PhaseTimer
@@ -65,6 +70,7 @@ def tilespgemm_adapter(
     tile_size: int = TILE,
     a_tiled: Optional[TileMatrix] = None,
     b_tiled: Optional[TileMatrix] = None,
+    backend=None,
     **kwargs,
 ) -> SpGEMMResult:
     """Run TileSpGEMM on CSR inputs and report an :class:`SpGEMMResult`.
@@ -73,8 +79,13 @@ def tilespgemm_adapter(
     pre-tiled inputs are passed (``a_tiled``/``b_tiled``), matching the
     paper's assumption that matrices already live in the tiled format;
     otherwise the conversion is recorded as the ``format_conversion``
-    phase (Figure 12's quantity).
+    phase (Figure 12's quantity).  ``backend`` selects the kernel
+    backend (see :mod:`repro.backend`); ``None`` keeps the ambient
+    default, so suites that sweep backends via
+    :func:`repro.backend.use_backend` cover this adapter too.
     """
+    if backend is not None:
+        kwargs["backend"] = backend
     return _run_adapter("tilespgemm", tile_spgemm, a, b, tile_size, a_tiled, b_tiled, kwargs)
 
 
@@ -88,9 +99,13 @@ def _make_parallel_adapter(workers: int):
         tile_size: int = TILE,
         a_tiled: Optional[TileMatrix] = None,
         b_tiled: Optional[TileMatrix] = None,
+        backend=None,
         **kwargs,
     ) -> SpGEMMResult:
         from repro.runtime.parallel import parallel_tile_spgemm
+
+        if backend is not None:
+            kwargs["backend"] = backend
 
         def engine(at, bt, **kw):
             return parallel_tile_spgemm(at, bt, workers=workers, **kw)

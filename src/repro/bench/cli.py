@@ -57,6 +57,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--repeats", type=int, default=5, help="timed executions per series")
     run.add_argument("--seed", type=int, default=0, help="deterministic RNG seed")
     run.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="kernel backend the suite runs under (see docs/BACKENDS.md); "
+        "recorded in the document's meta (default: ambient/$REPRO_BACKEND)",
+    )
+    run.add_argument(
         "--max-matrices",
         type=int,
         default=None,
@@ -142,6 +149,7 @@ def _cmd_run(args) -> int:
         seed=args.seed,
         max_matrices=args.max_matrices,
         methods=methods,
+        backend=args.backend,
     )
     progress = None if args.quiet else lambda line: print(f"  running {line}", file=sys.stderr)
     doc = BenchRunner(config).run(progress=progress)

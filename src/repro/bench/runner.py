@@ -27,6 +27,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backend import resolve_backend_name, use_backend
 from repro.baselines import get_algorithm
 from repro.bench import schema
 from repro.gpu import DEVICES, estimate_run
@@ -153,6 +154,7 @@ class BenchConfig:
     max_matrices: Optional[int] = None  #: None = REPRO_BENCH_MAX_MATRICES or all
     methods: Optional[Tuple[str, ...]] = None  #: None = the suite's methods
     devices: Tuple[str, ...] = _ESTIMATE_DEVICES
+    backend: Optional[str] = None  #: kernel backend name; None = ambient default
 
     def resolved_cap(self) -> Optional[int]:
         if self.max_matrices is not None:
@@ -206,28 +208,35 @@ class BenchRunner:
         suite = SUITES[cfg.suite]
         random.seed(cfg.seed)
         np.random.seed(cfg.seed % (2**32))
+        # Resolve (and validate) the kernel backend once; the whole suite
+        # runs under it as the scoped process default, and the document
+        # records the resolved name so any two runs can be compared
+        # backend-aware.
+        backend_name = resolve_backend_name(cfg.backend)
         doc = schema.new_document(
             label=cfg.label or cfg.suite,
             suite=cfg.suite,
             warmup=cfg.warmup,
             repeats=cfg.repeats,
             seed=cfg.seed,
+            backend=backend_name,
         )
         specs = list(suite.specs())
         cap = cfg.resolved_cap()
         if cap is not None:
             specs = specs[: max(int(cap), 0)]
         methods = tuple(cfg.methods) if cfg.methods else suite.methods
-        for spec in specs:
-            a = spec.matrix()
-            for op in suite.ops:
-                b = a if op == "aa" else a.transpose()
-                for method in methods:
-                    if progress is not None:
-                        progress(f"{spec.name} {method} {op}")
-                    doc["series"].append(
-                        self._measure_series(spec.name, method, op, a, b)
-                    )
+        with use_backend(backend_name):
+            for spec in specs:
+                a = spec.matrix()
+                for op in suite.ops:
+                    b = a if op == "aa" else a.transpose()
+                    for method in methods:
+                        if progress is not None:
+                            progress(f"{spec.name} {method} {op}")
+                        doc["series"].append(
+                            self._measure_series(spec.name, method, op, a, b)
+                        )
         schema.validate_document(doc)
         return doc
 

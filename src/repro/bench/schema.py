@@ -104,18 +104,27 @@ def new_document(
     repeats: int,
     seed: int,
     created_unix: Optional[float] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """An empty document with meta and environment filled in."""
+    """An empty document with meta and environment filled in.
+
+    ``backend`` records the kernel backend the suite executed under
+    (:mod:`repro.backend`); ``None`` omits the key, keeping documents
+    from before the backend seam byte-compatible.
+    """
+    meta: Dict[str, Any] = {
+        "label": str(label),
+        "suite": str(suite),
+        "created_unix": float(time.time() if created_unix is None else created_unix),
+        "warmup": int(warmup),
+        "repeats": int(repeats),
+        "seed": int(seed),
+    }
+    if backend is not None:
+        meta["backend"] = str(backend)
     return {
         "schema": SCHEMA_VERSION,
-        "meta": {
-            "label": str(label),
-            "suite": str(suite),
-            "created_unix": float(time.time() if created_unix is None else created_unix),
-            "warmup": int(warmup),
-            "repeats": int(repeats),
-            "seed": int(seed),
-        },
+        "meta": meta,
         "environment": environment_fingerprint(),
         "series": [],
     }

@@ -23,10 +23,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import resolve_backend
 from repro.core.pairs import TilePairs
 from repro.core.tile_matrix import TileMatrix, mask_dtype_for
 from repro.util.arrays import concat_ranges
-from repro.util.bits import popcount16
 
 __all__ = ["SymbolicResult", "step2_symbolic"]
 
@@ -67,8 +67,16 @@ class SymbolicResult:
         return int(self.tilennz[-1])
 
 
-def step2_symbolic(a: TileMatrix, b: TileMatrix, pairs: TilePairs) -> SymbolicResult:
-    """Run the symbolic phase over all candidate tiles at once."""
+def step2_symbolic(
+    a: TileMatrix, b: TileMatrix, pairs: TilePairs, backend=None
+) -> SymbolicResult:
+    """Run the symbolic phase over all candidate tiles at once.
+
+    ``backend`` selects the kernel set for the mask OR-accumulate and the
+    popcounts (a name, a :class:`~repro.backend.KernelSet`, or ``None``
+    for the ambient default — see :func:`repro.backend.resolve_backend`).
+    """
+    kernels = resolve_backend(backend)
     T = a.tile_size
     if T != b.tile_size:
         raise ValueError("A and B must use the same tile size")
@@ -92,12 +100,12 @@ def step2_symbolic(a: TileMatrix, b: TileMatrix, pairs: TilePairs) -> SymbolicRe
         c = a.colidx[a_nnz_idx].astype(np.int64)
         # AtomicOr(mask_C[slot, r], mask_B[b_tile, c]) for every A nonzero.
         flat = mask_c.reshape(-1)
-        np.bitwise_or.at(flat, c_slot * T + r, b.mask[b_tile, c])
+        kernels.mask_or_into(flat, c_slot * T + r, b.mask[b_tile, c])
         symbolic_ops = int(a_nnz_idx.size)
     else:
         symbolic_ops = 0
 
-    counts_per_row = popcount16(mask_c).astype(np.int64)
+    counts_per_row = kernels.popcount(mask_c).astype(np.int64)
     rowptr = np.zeros_like(counts_per_row)
     if num_c:
         np.cumsum(counts_per_row[:, :-1], axis=1, out=rowptr[:, 1:])

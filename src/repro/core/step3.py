@@ -27,11 +27,11 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.backend import resolve_backend
 from repro.core.pairs import TilePairs
 from repro.core.step2 import SymbolicResult
 from repro.core.tile_matrix import TileMatrix
 from repro.util.arrays import concat_ranges, segment_positions
-from repro.util.bits import nth_set_bit, prefix_popcount
 
 __all__ = [
     "NumericResult",
@@ -86,22 +86,27 @@ class NumericResult:
     use_dense: Optional[np.ndarray] = field(default=None)
 
 
-def c_indices_from_masks(sym: SymbolicResult, tile_size: int) -> Tuple[np.ndarray, np.ndarray]:
-    """Materialise ``C``'s local (row, col) indices from the step-2 masks."""
+def c_indices_from_masks(
+    sym: SymbolicResult, tile_size: int, backend=None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Materialise ``C``'s local (row, col) indices from the step-2 masks.
+
+    The tile-compaction kernel (``nth_set_bit``) comes from ``backend``
+    (see :func:`repro.backend.resolve_backend`).
+    """
+    kernels = resolve_backend(backend)
     T = tile_size
-    pc_flat = _row_popcounts(sym, T).reshape(-1)
+    pc_flat = _row_popcounts(sym, kernels).reshape(-1)
     num_c = sym.mask.shape[0]
     rowidx = np.repeat(np.tile(np.arange(T, dtype=np.uint8), num_c), pc_flat)
     mask_rep = np.repeat(sym.mask.reshape(-1), pc_flat)
     rank = segment_positions(pc_flat)
-    colidx = nth_set_bit(mask_rep, rank)
+    colidx = kernels.nth_set_bit(mask_rep, rank)
     return rowidx, colidx
 
 
-def _row_popcounts(sym: SymbolicResult, T: int) -> np.ndarray:
-    from repro.util.bits import popcount16
-
-    return popcount16(sym.mask).astype(np.int64)
+def _row_popcounts(sym: SymbolicResult, kernels) -> np.ndarray:
+    return kernels.popcount(sym.mask).astype(np.int64)
 
 
 def step3_numeric(
@@ -114,6 +119,7 @@ def step3_numeric(
     force_accumulator: str | None = None,
     mask_filter: bool = False,
     value_dtype=np.float64,
+    backend=None,
 ) -> NumericResult:
     """Run the numeric phase.
 
@@ -147,7 +153,15 @@ def step3_numeric(
         ``np.float16`` emulates the half-precision mode of the tSparse
         comparison (products rounded to fp16, accumulation in fp64 like
         the tensor cores' wider accumulator).
+    backend:
+        Kernel set serving the popcounts, the popcount-rank, the
+        scatter-add accumulate and the tile compaction — a registered
+        name, a :class:`~repro.backend.KernelSet`, or ``None`` for the
+        ambient default (:func:`repro.backend.resolve_backend`).
+        Conformant backends are byte-identical, so this changes speed,
+        never the result.
     """
+    kernels = resolve_backend(backend)
     T = a.tile_size
     if tnnz is None:
         tnnz = default_tnnz(T)
@@ -171,9 +185,7 @@ def step3_numeric(
     # --- per-pair product counts for chunking ---------------------------
     b_counts = b.tile_nnz_counts()
     # Row lengths of every B tile: popcount of its masks.
-    from repro.util.bits import popcount16
-
-    b_row_len = popcount16(b.mask).astype(np.int64)  # (num_tiles_B, T)
+    b_row_len = kernels.popcount(b.mask).astype(np.int64)  # (num_tiles_B, T)
     # Global start of row c of B tile t: tilennz_B[t] + rowptr_B[t, c].
     b_row_start = b.tilennz[:-1, None] + b.rowptr.astype(np.int64)
 
@@ -209,12 +221,12 @@ def step3_numeric(
         _accumulate_chunk(
             a, b, pairs, sym, val_c, dense_buf, use_dense, dense_slot,
             pair_c_slot, a_counts, b_row_len, b_row_start, start, end, T,
-            mask_filter, value_dtype,
+            mask_filter, value_dtype, kernels,
         )
         start = end
 
     # --- compact the dense scratch tiles through the masks --------------
-    rowidx_c, colidx_c = c_indices_from_masks(sym, T)
+    rowidx_c, colidx_c = c_indices_from_masks(sym, T, backend=kernels)
     if num_dense:
         tile_of_nnz = np.repeat(np.arange(num_c, dtype=np.int64), sym.tile_nnz_counts)
         in_dense = use_dense[tile_of_nnz]
@@ -271,8 +283,10 @@ def _accumulate_chunk(
     T: int,
     mask_filter: bool = False,
     value_dtype=np.float64,
+    kernels=None,
 ) -> None:
     """Expand pairs [start, end) into products and scatter-add them."""
+    kernels = resolve_backend(kernels)
     p_slice = slice(start, end)
     pa = pairs.pair_a[p_slice]
     pb = pairs.pair_b[p_slice]
@@ -322,16 +336,16 @@ def _accumulate_chunk(
             + prod_r[sel] * T
             + prod_col[sel]
         )
-        dense_buf += np.bincount(pos, weights=products[sel], minlength=dense_buf.size)
+        kernels.scatter_add_into(dense_buf, pos, products[sel])
     if not dense_sel.all():
         sel = ~dense_sel
         slot_s = prod_slot[sel]
         r_s = prod_r[sel]
         col_s = prod_col[sel]
-        rank = prefix_popcount(sym.mask[slot_s, r_s], col_s).astype(np.int64)
+        rank = kernels.prefix_popcount(sym.mask[slot_s, r_s], col_s).astype(np.int64)
         pos = (
             sym.tilennz[slot_s]
             + sym.rowptr[slot_s, r_s].astype(np.int64)
             + rank
         )
-        val_c += np.bincount(pos, weights=products[sel], minlength=val_c.size)
+        kernels.scatter_add_into(val_c, pos, products[sel])

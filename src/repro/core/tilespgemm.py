@@ -23,6 +23,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.backend import resolve_backend
 from repro.core.pairs import TilePairs, enumerate_pairs_expand, enumerate_pairs_intersect
 from repro.core.step1 import TileLayout, step1_tile_layout
 from repro.core.step2 import SymbolicResult, step2_symbolic
@@ -103,6 +104,7 @@ def tile_spgemm(
     value_dtype=np.float64,
     budget_bytes: Optional[int] = None,
     fault_plan=None,
+    backend=None,
 ) -> TileSpGEMMResult:
     """Multiply two tiled sparse matrices with the TileSpGEMM algorithm.
 
@@ -139,6 +141,14 @@ def tile_spgemm(
         Optional :class:`~repro.runtime.faults.FaultPlan` observing this
         run's allocations and steps.  Both parameters default to the
         active :func:`~repro.runtime.context.execution_context`.
+    backend:
+        Kernel backend for the steps' hot inner kernels — a registered
+        name (``"numpy"``, ``"pyloops"``, ...), a
+        :class:`~repro.backend.KernelSet`, or ``None`` for the ambient
+        default (process default, then ``REPRO_BACKEND``, then
+        ``numpy``; see :mod:`repro.backend`).  Conformant backends
+        produce byte-identical results; the chosen name is recorded in
+        ``stats["backend"]`` and on the run's trace span.
 
     Returns
     -------
@@ -151,6 +161,7 @@ def tile_spgemm(
             f"dimension mismatch: A is {a.shape[0]}x{a.shape[1]}, "
             f"B is {b.shape[0]}x{b.shape[1]}"
         )
+    kernels = resolve_backend(backend)
     with execution_context(budget_bytes=budget_bytes, fault_plan=fault_plan):
         return _tile_spgemm_under_context(
             a,
@@ -161,6 +172,7 @@ def tile_spgemm(
             force_accumulator=force_accumulator,
             keep_empty_tiles=keep_empty_tiles,
             value_dtype=value_dtype,
+            kernels=kernels,
         )
 
 
@@ -173,6 +185,7 @@ def _tile_spgemm_under_context(
     force_accumulator: Optional[str],
     keep_empty_tiles: bool,
     value_dtype,
+    kernels,
 ) -> TileSpGEMMResult:
     timer = PhaseTimer()
     alloc = AllocationTracker()
@@ -190,6 +203,7 @@ def _tile_spgemm_under_context(
         nnz_a=int(a.nnz),
         nnz_b=int(b.nnz),
         tile_size=T,
+        backend=kernels.name,
     ):
         # --------------------------------------------------------- step 1
         alloc.set_phase("step1")
@@ -206,7 +220,7 @@ def _tile_spgemm_under_context(
         alloc.set_phase("step2")
         note_step("step2")
         with timer.phase("step2"), tracer.span(
-            "step2", cat="step", method=intersect_method
+            "step2", cat="step", method=intersect_method, backend=kernels.name
         ):
             if intersect_method == "expand":
                 pairs = enumerate_pairs_expand(a, b)
@@ -219,7 +233,7 @@ def _tile_spgemm_under_context(
                     method=intersect_method,
                 )
             _check_layout_matches(layout, pairs)
-            sym = step2_symbolic(a, b, pairs)
+            sym = step2_symbolic(a, b, pairs, backend=kernels)
         with timer.phase("malloc"), tracer.span("malloc", cat="step"):
             alloc.alloc("tileNnz_C", (pairs.num_c_tiles + 1) * 4)
             alloc.alloc("rowPtr_C", pairs.num_c_tiles * T)
@@ -230,7 +244,9 @@ def _tile_spgemm_under_context(
         # --------------------------------------------------------- step 3
         alloc.set_phase("step3")
         note_step("step3")
-        with timer.phase("step3"), tracer.span("step3", cat="step", tnnz=tnnz):
+        with timer.phase("step3"), tracer.span(
+            "step3", cat="step", tnnz=tnnz, backend=kernels.name
+        ):
             num = step3_numeric(
                 a,
                 b,
@@ -239,6 +255,7 @@ def _tile_spgemm_under_context(
                 tnnz=tnnz,
                 force_accumulator=force_accumulator,
                 value_dtype=value_dtype,
+                backend=kernels,
             )
 
     c = TileMatrix(
@@ -258,6 +275,7 @@ def _tile_spgemm_under_context(
         c = c.drop_empty_tiles()
 
     stats = collect_stats(a, b, pairs, sym, num, layout)
+    stats["backend"] = kernels.name
     if obs.enabled:
         _record_obs_metrics(obs.metrics, stats)
     return TileSpGEMMResult(
@@ -290,6 +308,9 @@ def _record_obs_metrics(metrics, stats: Dict[str, object]) -> None:
     the equality), so the metrics are as deterministic as the run.
     """
     metrics.inc("tilespgemm_runs_total")
+    backend = stats.get("backend")
+    if backend:
+        metrics.inc("backend_runs_total", backend=str(backend))
     metrics.inc("tile_pairs_matched_total", int(np.asarray(stats["pairs_per_tile"]).sum()))
     metrics.inc("atomic_or_ops_total", int(stats["symbolic_ops"]))
     metrics.inc("atomic_add_ops_total", int(stats["num_products"]))

@@ -258,5 +258,10 @@ def stitch_results(
         tile_size=T,
         batches=len(batches),
     )
+    # Every batch ran under the same kernel backend; carry the label so
+    # chunked/parallel results report it like a single-shot run does.
+    backend_names = {str(r.stats["backend"]) for r in batches if "backend" in r.stats}
+    if len(backend_names) == 1:
+        stats["backend"] = backend_names.pop()
 
     return TileSpGEMMResult(c=c, timer=timer, alloc=alloc, stats=stats)

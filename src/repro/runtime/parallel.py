@@ -27,6 +27,17 @@ explicit arguments the engine forwards, and workers never race on the
 coordinator's tracer — per-shard spans are recorded by the coordinating
 thread from worker-reported timings.
 
+**Backends.**  The engine resolves its kernel-backend spec to a registry
+*name* in the coordinator (covering the process default, which is module
+state and does not survive ``spawn``) and forwards the name inside the
+shard options; each pool worker re-resolves the name through its own
+freshly-imported registry (:mod:`repro.backend`).  A worker that runs
+with no explicit spec — and any child the engine did not configure —
+falls back to ``REPRO_BACKEND`` from its inherited environment.  Every
+shard of a run therefore executes the same backend, and the conformance
+suite pins the merged result byte-identical to the serial ``numpy``
+run for every registered backend.
+
 **Failure.**  A shard raising
 :class:`~repro.errors.TransientKernelError`, or the pool breaking
 outright, is handled by the :class:`~repro.runtime.policy.ParallelPolicy`:
@@ -42,6 +53,7 @@ import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.backend import resolve_backend_name
 from repro.core.tile_matrix import TileMatrix
 from repro.core.tilespgemm import TileSpGEMMResult, _record_obs_metrics, tile_spgemm
 from repro.errors import InvalidInputError, TransientKernelError
@@ -168,6 +180,7 @@ def parallel_tile_spgemm(
     budget_bytes: Optional[int] = None,
     fault_plan=None,
     keep_empty_tiles: bool = True,
+    backend=None,
     **kwargs,
 ) -> TileSpGEMMResult:
     """Multiply ``a @ b`` on a worker pool; byte-identical to serial.
@@ -195,6 +208,13 @@ def parallel_tile_spgemm(
         per worker, so its counters advance independently per process.
     keep_empty_tiles:
         As for ``tile_spgemm``; applied to the merged matrix.
+    backend:
+        Kernel backend spec (name, :class:`~repro.backend.KernelSet`, or
+        ``None`` for the ambient default).  Resolved to a registry name
+        *here*, in the coordinator, and shipped by name to the pool
+        workers — process workers cannot see the coordinator's module
+        state, only the registry they import themselves and the
+        environment they inherit.
     **kwargs:
         Remaining ``tile_spgemm`` options (``tnnz``, methods, dtype...).
 
@@ -216,6 +236,11 @@ def parallel_tile_spgemm(
     workers = resolve_workers(workers)
     executor = resolve_executor(executor)
     policy = policy or ParallelPolicy()
+    # Resolve the backend spec to a pickle-safe registry name up front:
+    # the process default (module state) does not survive spawn, so the
+    # name — not the KernelSet — is what travels to the workers.
+    backend_name = resolve_backend_name(backend)
+    kwargs["backend"] = backend_name
 
     num_tile_rows = a.num_tile_rows
     if shards is None:
@@ -297,7 +322,9 @@ def parallel_tile_spgemm(
     merged = stitch_results(
         [out[0] for out in shard_outputs], a, b, keep_empty_tiles
     )
-    merged.stats.update(shards=num_shards, workers=workers, executor=executor)
+    merged.stats.update(
+        shards=num_shards, workers=workers, executor=executor, backend=backend_name
+    )
     if obs.enabled:
         obs.metrics.inc("parallel_runs_total", executor=executor)
         obs.metrics.inc("parallel_shards_total", num_shards)
@@ -363,6 +390,7 @@ def spgemm_batch(
     executor: Optional[str] = None,
     policy: Optional[ParallelPolicy] = None,
     tile_size: Optional[int] = None,
+    backend=None,
     **kwargs,
 ) -> List[TileSpGEMMResult]:
     """Run many small multiplies on one pool, preserving input order.
@@ -393,12 +421,17 @@ def spgemm_batch(
     tile_size:
         Tile size used when tiling CSR operands (default
         :data:`~repro.core.tile_matrix.TILE`).
+    backend:
+        Kernel backend spec, resolved to a registry name on the
+        coordinator and forwarded to every task (like
+        :func:`parallel_tile_spgemm`).
     **kwargs:
         ``tile_spgemm`` options applied to every pair.
     """
     workers = resolve_workers(workers)
     executor = resolve_executor(executor)
     policy = policy or ParallelPolicy()
+    kwargs["backend"] = resolve_backend_name(backend)
     cache = get_tile_cache()
     ts = {} if tile_size is None else {"tile_size": tile_size}
     tiled_pairs = [(cache.tile(a, **ts), cache.tile(b, **ts)) for a, b in pairs]

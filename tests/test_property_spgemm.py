@@ -3,6 +3,11 @@
 These drive every registered method (minus the half-precision tSparse
 mode) against SciPy on hypothesis-generated matrices, and check the
 algebraic identities that any SpGEMM must satisfy.
+
+The backend-parametrised properties at the bottom sweep every available
+kernel backend (:mod:`repro.backend`) through the serial, chunked and
+2-worker parallel execution paths; a hypothesis-free seeded-fuzz loop
+covers the same cross product on fixed seeds so CI cost stays bounded.
 """
 
 import numpy as np
@@ -10,11 +15,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.backend import list_backends
 from repro.baselines import get_algorithm
 from repro.core import TileMatrix, tile_spgemm
 from repro.formats.coo import COOMatrix
 from repro.formats.csr import CSRMatrix
-from tests.conftest import scipy_product
+from tests.conftest import random_csr, scipy_product
 
 # Strategy: a small sparse matrix as (shape, entries).
 VALUES = st.sampled_from([1.0, -1.0, 0.5, 2.0, -3.25])
@@ -133,3 +139,83 @@ def test_methods_agree_pairwise(pair):
     c_esc = get_algorithm("bhsparse_esc")(a, b).c
     assert c_tile.allclose(c_hash)
     assert c_hash.allclose(c_esc)
+
+
+# ---------------------------------------------------------------------------
+# Cross-backend properties
+# ---------------------------------------------------------------------------
+
+BACKENDS = list_backends()
+
+
+def _assert_backend_bytes_identical(c_ref, c_got, context=""):
+    for name in (
+        "tileptr",
+        "tilecolidx",
+        "tilennz",
+        "rowptr",
+        "rowidx",
+        "colidx",
+        "val",
+        "mask",
+    ):
+        ref, got = getattr(c_ref, name), getattr(c_got, name)
+        assert ref.dtype == got.dtype, f"{context}{name}"
+        assert ref.tobytes() == got.tobytes(), f"{context}{name}"
+
+
+def _execution_paths(backend):
+    """The three execution paths each backend must agree across."""
+    from repro.runtime.chunked import chunked_tile_spgemm
+    from repro.runtime.parallel import parallel_tile_spgemm
+
+    return {
+        "serial": lambda at, bt: tile_spgemm(at, bt, backend=backend),
+        "chunked": lambda at, bt: chunked_tile_spgemm(
+            at, bt, num_batches=3, backend=backend
+        ),
+        "par2_thread": lambda at, bt: parallel_tile_spgemm(
+            at, bt, workers=2, executor="thread", backend=backend
+        ),
+    }
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(max_examples=10, deadline=None)
+@given(matrix_pair(max_dim=20))
+def test_backend_matches_dense_all_paths(backend, pair):
+    """Every backend, through serial/chunked/parallel, matches dense —
+    and all three paths are byte-identical to each other."""
+    a, b = pair
+    at, bt = TileMatrix.from_csr(a), TileMatrix.from_csr(b)
+    dense = a.to_dense() @ b.to_dense()
+    results = {name: run(at, bt) for name, run in _execution_paths(backend).items()}
+    for name, res in results.items():
+        assert np.allclose(res.c.to_dense(), dense, atol=1e-10), name
+    serial = results["serial"]
+    for name in ("chunked", "par2_thread"):
+        _assert_backend_bytes_identical(
+            serial.c, results[name].c, context=f"{backend}/{name}:"
+        )
+
+
+@pytest.mark.parametrize("backend", [b for b in BACKENDS if b != "numpy"])
+@pytest.mark.parametrize("seed", [601, 602, 603, 604, 605, 606])
+def test_backend_seeded_fuzz_byte_identity(backend, seed):
+    """Hypothesis-free fuzz loop: fixed seeds, dims <= 64, every
+    non-reference backend byte-identical to numpy on all three paths.
+    Capped at 6 seeds so the pure-Python oracle stays CI-affordable."""
+    rs = np.random.default_rng(seed)
+    n, k, m = (int(rs.integers(1, 65)) for _ in range(3))
+    density = float(rs.uniform(0.02, 0.25))
+    a = random_csr(n, k, density, seed=seed * 7 + 1)
+    b = random_csr(k, m, density, seed=seed * 7 + 2)
+    at, bt = TileMatrix.from_csr(a), TileMatrix.from_csr(b)
+    ref = tile_spgemm(at, bt, backend="numpy")
+    np.testing.assert_allclose(
+        ref.c.to_dense(), a.to_dense() @ b.to_dense(), atol=1e-10
+    )
+    for name, run in _execution_paths(backend).items():
+        got = run(at, bt)
+        assert got.stats["backend"] == backend, name
+        _assert_backend_bytes_identical(ref.c, got.c, context=f"{name}:")
