@@ -52,7 +52,7 @@ from repro.backend.accel import NumbaKernelSet, numba_available
 from repro.backend.base import KERNEL_NAMES, KernelSet
 from repro.backend.numpy_backend import NumpyKernelSet
 from repro.backend.pyloops import PyLoopsKernelSet
-from repro.errors import InvalidInputError
+from repro.errors import ConfigurationError, InvalidInputError
 
 __all__ = [
     "ENV_BACKEND",
@@ -243,16 +243,32 @@ def resolve_backend(spec: Union[None, str, KernelSet] = None) -> KernelSet:
     ``spec`` may be a :class:`KernelSet` instance (returned as-is), a
     registered name, or ``None`` — which walks the precedence chain:
     process default, then ``REPRO_BACKEND``, then ``numpy``.
+
+    A name that came from the ``REPRO_BACKEND`` environment variable and
+    fails to resolve raises :class:`~repro.errors.ConfigurationError`
+    naming the variable (exit code 10 at the CLI) instead of the generic
+    invalid-input error an explicit argument gets.
     """
     if isinstance(spec, KernelSet):
         return spec
+    from_env = False
     if spec is None:
+        from_env = _DEFAULT_NAME is None and bool(
+            os.environ.get(ENV_BACKEND, "").strip()
+        )
         spec = default_backend_name()
     if not isinstance(spec, str):
         raise InvalidInputError(
             f"backend spec must be a name or KernelSet, got {type(spec).__name__}"
         )
-    return get_backend(spec)
+    try:
+        return get_backend(spec)
+    except ConfigurationError:
+        raise
+    except InvalidInputError as exc:
+        if from_env:
+            raise ConfigurationError(str(exc), source=ENV_BACKEND) from exc
+        raise
 
 
 def resolve_backend_name(spec: Union[None, str, KernelSet] = None) -> str:

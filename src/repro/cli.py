@@ -34,6 +34,12 @@ machine-readable benchmark tier::
     python -m repro bench run --suite ext --out BENCH.json
     python -m repro bench gate --candidate BENCH.json
 
+and a ``serve`` subcommand family (see docs/SERVING.md) drives the
+resilient async serving tier under generated load::
+
+    python -m repro serve run --requests 32 --deadline 2.0
+    python -m repro serve load --rate 50 --metrics serve.prom
+
 ``--trace`` writes a Chrome trace-event file loadable in Perfetto,
 ``--metrics`` a Prometheus text dump of the kernel counters, ``--profile``
 prints a top-spans wall-clock report, and ``--json`` replaces the
@@ -54,6 +60,9 @@ Exit-code contract (one distinct code per error class; see
 6     transient kernel fault
 7     communication failure
 8     resilient runtime exhausted every fallback
+10    malformed environment/configuration value
+11    request shed by serving-tier admission control
+12    request deadline exceeded
 ====  ============================================
 
 Every failure prints a single ``error: ...`` line to stderr — never a raw
@@ -206,6 +215,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.bench.cli import bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # The async serving tier (docs/SERVING.md): closed-loop burst and
+        # open-loop load drivers over SpGEMMService.
+        from repro.serve.cli import serve_main
+
+        return serve_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if not 0 <= args.d < len(_DEVICES):
         print(f"error: unknown device ordinal {args.d}", file=sys.stderr)

@@ -9,12 +9,18 @@ module gives each failure class its own exception type so the runtime
 (:mod:`repro.runtime`) can react differently to each:
 
 * :class:`InvalidInputError` — permanent, the caller's fault; never retried.
+* :class:`ConfigurationError` — a malformed deployment knob (environment
+  variable, service config); permanent, but the *operator's* fault, so it
+  gets its own exit code and a one-line message naming the knob.
 * :class:`DeviceOOMError` — deterministic for a given budget; recovered by
   chunked re-execution (:mod:`repro.runtime.chunked`), not by retrying.
 * :class:`TransientKernelError` — assumed to vanish on retry; handled with
   exponential backoff.
 * :class:`CommFailure` — a transient specific to the distributed layer;
   recovered by retransmission.
+* :class:`ServiceOverloadError` / :class:`DeadlineExceededError` — the
+  serving tier (:mod:`repro.serve`) shedding load at admission or giving
+  up on a request whose deadline passed.
 
 The classes double-inherit from the builtin types they historically were
 (``ValueError`` / ``MemoryError`` / ``RuntimeError``), so every existing
@@ -31,11 +37,14 @@ from typing import Optional
 __all__ = [
     "ReproError",
     "InvalidInputError",
+    "ConfigurationError",
     "DeviceOOMError",
     "TransientKernelError",
     "CommFailure",
     "ResilienceExhausted",
     "BenchRegressionError",
+    "ServiceOverloadError",
+    "DeadlineExceededError",
     "EXIT_OK",
     "EXIT_CHECK_FAILED",
     "EXIT_USAGE",
@@ -46,6 +55,9 @@ __all__ = [
     "EXIT_COMM",
     "EXIT_EXHAUSTED",
     "EXIT_REGRESSION",
+    "EXIT_CONFIG",
+    "EXIT_SHED",
+    "EXIT_DEADLINE",
     "exit_code_for",
 ]
 
@@ -60,6 +72,22 @@ class InvalidInputError(ReproError, ValueError):
     Permanent — retrying or degrading cannot help, so the resilient runtime
     re-raises these immediately.
     """
+
+
+class ConfigurationError(InvalidInputError):
+    """A deployment knob holds a malformed value.
+
+    Raised when an environment variable (``REPRO_WORKERS``,
+    ``REPRO_EXECUTOR``, ``REPRO_BACKEND``) or a service configuration
+    field cannot be parsed or names something unknown.  Subclasses
+    :class:`InvalidInputError` so every existing handler keeps working,
+    but carries its own exit code (:data:`EXIT_CONFIG`) and names the
+    offending knob so an operator can fix the deployment in one read.
+    """
+
+    def __init__(self, message: str, source: str = "") -> None:
+        self.source = source
+        super().__init__(f"{source}: {message}" if source else message)
 
 
 class DeviceOOMError(ReproError, MemoryError):
@@ -131,6 +159,41 @@ class ResilienceExhausted(ReproError):
     """
 
 
+class ServiceOverloadError(ReproError):
+    """The serving tier shed this request at admission.
+
+    Raised by :class:`repro.serve.admission.AdmissionController` when the
+    bounded request queue is full or the upfront cost-model estimate says
+    the request cannot fit the device budget.  Shedding is *deliberate*
+    load protection, not a crash: the submitter is expected to back off
+    and retry, so the error carries the reason and the current depth.
+    """
+
+    def __init__(self, reason: str, detail: str = "") -> None:
+        self.reason = reason
+        msg = f"request shed ({reason})"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A request's deadline passed before its result was complete.
+
+    The serving tier cancels the request cooperatively — shards already
+    running finish, nothing new is scheduled — and responds with this
+    error instead of a stale result.
+    """
+
+    def __init__(self, deadline_s: float, elapsed_s: float) -> None:
+        self.deadline_s = float(deadline_s)
+        self.elapsed_s = float(elapsed_s)
+        super().__init__(
+            f"deadline of {self.deadline_s:.3f} s exceeded "
+            f"({self.elapsed_s:.3f} s elapsed)"
+        )
+
+
 class BenchRegressionError(ReproError):
     """The benchmark gate found a statistically significant regression.
 
@@ -163,16 +226,24 @@ EXIT_TRANSIENT = 6  #: transient kernel fault (retries exhausted)
 EXIT_COMM = 7  #: communication failure in the distributed layer
 EXIT_EXHAUSTED = 8  #: resilient runtime ran out of fallbacks
 EXIT_REGRESSION = 9  #: benchmark gate found a significant regression
+EXIT_CONFIG = 10  #: malformed environment/service configuration value
+EXIT_SHED = 11  #: serving tier shed the request (queue full / admission)
+EXIT_DEADLINE = 12  #: request deadline expired before completion
 
 
 def exit_code_for(exc: BaseException) -> int:
     """Map an exception to the CLI's exit-code contract.
 
     Subclass checks run most-specific first (``CommFailure`` before
-    ``TransientKernelError``, typed errors before their builtin bases).
+    ``TransientKernelError``, ``ConfigurationError`` before
+    ``InvalidInputError``, typed errors before their builtin bases).
     """
     if isinstance(exc, BenchRegressionError):
         return EXIT_REGRESSION
+    if isinstance(exc, ServiceOverloadError):
+        return EXIT_SHED
+    if isinstance(exc, DeadlineExceededError):
+        return EXIT_DEADLINE
     if isinstance(exc, ResilienceExhausted):
         return EXIT_EXHAUSTED
     if isinstance(exc, CommFailure):
@@ -183,6 +254,8 @@ def exit_code_for(exc: BaseException) -> int:
         return EXIT_OOM
     if isinstance(exc, FileNotFoundError):
         return EXIT_FILE_NOT_FOUND
+    if isinstance(exc, ConfigurationError):
+        return EXIT_CONFIG
     if isinstance(exc, InvalidInputError):
         return EXIT_INVALID_INPUT
     return 1

@@ -57,6 +57,7 @@ __all__ = [
     "AttemptRecord",
     "ResilienceReport",
     "ResilientResult",
+    "backoff_wait",
     "run_resilient",
     "parallel_tile_spgemm",
     "spgemm_batch",
@@ -78,6 +79,7 @@ _LAZY = {
     "AttemptRecord": "repro.runtime.policy",
     "ResilienceReport": "repro.runtime.policy",
     "ResilientResult": "repro.runtime.policy",
+    "backoff_wait": "repro.runtime.policy",
     "run_resilient": "repro.runtime.policy",
     "parallel_tile_spgemm": "repro.runtime.parallel",
     "spgemm_batch": "repro.runtime.parallel",

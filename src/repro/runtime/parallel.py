@@ -56,7 +56,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.backend import resolve_backend_name
 from repro.core.tile_matrix import TileMatrix
 from repro.core.tilespgemm import TileSpGEMMResult, _record_obs_metrics, tile_spgemm
-from repro.errors import InvalidInputError, TransientKernelError
+from repro.errors import ConfigurationError, InvalidInputError, TransientKernelError
 from repro.obs.context import current_obs
 from repro.runtime.chunked import batch_bounds, slice_tile_rows, stitch_results
 from repro.runtime.policy import ParallelPolicy
@@ -88,17 +88,30 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     ``0`` (from either source) means "auto": the number of CPUs this
     process may run on.  The result is always >= 1; ``1`` selects the
     serial engine.
+
+    A malformed environment value raises
+    :class:`~repro.errors.ConfigurationError` naming the variable (exit
+    code 10 at the CLI); a malformed *argument* stays the caller's
+    :class:`~repro.errors.InvalidInputError`.
     """
+    from_env = False
     if workers is None:
         env = os.environ.get(ENV_WORKERS, "").strip()
         if not env:
             return 1
+        from_env = True
         try:
             workers = int(env)
         except ValueError:
-            raise InvalidInputError(f"{ENV_WORKERS} must be an integer, got {env!r}")
+            raise ConfigurationError(
+                f"must be an integer, got {env!r}", source=ENV_WORKERS
+            ) from None
     workers = int(workers)
     if workers < 0:
+        if from_env:
+            raise ConfigurationError(
+                f"must be >= 0, got {workers}", source=ENV_WORKERS
+            )
         raise InvalidInputError(f"workers must be >= 0, got {workers}")
     if workers == 0:
         try:
@@ -110,11 +123,22 @@ def resolve_workers(workers: Optional[int] = None) -> int:
 
 def resolve_executor(executor: Optional[str] = None) -> str:
     """The effective executor kind: argument, else ``REPRO_EXECUTOR``,
-    else ``"thread"``."""
+    else ``"thread"``.
+
+    Like :func:`resolve_workers`, a malformed environment value raises
+    :class:`~repro.errors.ConfigurationError` naming the variable.
+    """
+    from_env = False
     if executor is None:
         executor = os.environ.get(ENV_EXECUTOR, "").strip() or "thread"
+        from_env = True
     executor = executor.lower()
     if executor not in _EXECUTORS:
+        if from_env:
+            raise ConfigurationError(
+                f"must be one of {_EXECUTORS}, got {executor!r}",
+                source=ENV_EXECUTOR,
+            )
         raise InvalidInputError(
             f"executor must be one of {_EXECUTORS}, got {executor!r}"
         )

@@ -27,8 +27,9 @@ result came from a degraded (fallback) method.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import (
     DeviceOOMError,
@@ -45,6 +46,7 @@ __all__ = [
     "AttemptRecord",
     "ResilienceReport",
     "ResilientResult",
+    "backoff_wait",
     "run_resilient",
 ]
 
@@ -64,6 +66,23 @@ class RetryPolicy:
     backoff_base_s, backoff_factor, max_backoff_s:
         Exponential backoff: retry ``k`` waits
         ``min(base * factor**k, max)`` modelled seconds.
+    jitter_frac:
+        Fraction of the wait randomised away: retry ``k`` waits
+        ``wait * (1 + jitter_frac * u_k)`` with ``u_k`` drawn uniformly
+        from ``[-1, 1]`` by a generator seeded from ``jitter_seed`` and
+        ``k`` — deterministic per (seed, retry), so two runs of the same
+        policy wait identically.  ``0`` (default) disables jitter.
+    jitter_seed:
+        Seed of the deterministic jitter stream.
+    sleep:
+        Optional callable invoked with each computed wait.  ``None``
+        (default) keeps the backoff *modelled-only* — charged to timers
+        and estimates but never actually slept, so unit tests stay
+        instant.  Pass :func:`time.sleep` for real wall-clock backoff in
+        a synchronous deployment; the async serving tier
+        (:mod:`repro.serve`) computes the same waits via
+        :func:`backoff_wait` and ``await``\\ s them on the event loop
+        instead of blocking it.
     ladder:
         Method names tried in order; the first is the primary.
     max_batches:
@@ -74,6 +93,9 @@ class RetryPolicy:
     backoff_base_s: float = 1e-3
     backoff_factor: float = 2.0
     max_backoff_s: float = 1.0
+    jitter_frac: float = 0.0
+    jitter_seed: int = 0
+    sleep: Optional[Callable[[float], None]] = None
     ladder: Tuple[str, ...] = DEFAULT_LADDER
     max_batches: int = 64
 
@@ -355,10 +377,30 @@ def _run_ladder(
     ) from last_error
 
 
-def _backoff(policy: RetryPolicy, retry: int) -> float:
-    return min(
+def backoff_wait(policy: RetryPolicy, retry: int) -> float:
+    """The wait before re-running retry ``retry`` (0-based) of a rung.
+
+    ``min(base * factor**retry, max)``, then jittered by the policy's
+    deterministic seeded stream (see :class:`RetryPolicy.jitter_frac`).
+    Pure — computing the wait never sleeps; callers decide whether to
+    charge it to a model (:func:`run_resilient` with ``sleep=None``),
+    block on it (``sleep=time.sleep``) or ``await`` it (the async
+    serving tier).
+    """
+    wait = min(
         policy.backoff_base_s * policy.backoff_factor**retry, policy.max_backoff_s
     )
+    if policy.jitter_frac:
+        u = random.Random(policy.jitter_seed * 1_000_003 + retry).uniform(-1.0, 1.0)
+        wait *= 1.0 + policy.jitter_frac * u
+    return max(wait, 0.0)
+
+
+def _backoff(policy: RetryPolicy, retry: int) -> float:
+    wait = backoff_wait(policy, retry)
+    if policy.sleep is not None:
+        policy.sleep(wait)
+    return wait
 
 
 def _record_failure(

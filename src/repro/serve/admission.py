@@ -1,0 +1,166 @@
+"""Admission control: cheap upfront cost estimates and the shed decision.
+
+A serving tier that admits every request eventually serves none of them —
+overload must be refused at the door, cheaply, before any symbolic work
+runs.  Following the estimation-driven strategy selection of OCEAN
+(PAPERS.md, arXiv:2604.19004), admission prices a request from the same
+quantities the cost model already uses: the exact upper bound on the
+number of intermediate products
+
+    ``products = sum_k nnz(a_*k) * nnz(b_k*)``
+
+is one pass over ``nnz(A)`` (the paper's ``#flops`` is twice it), and
+``nnz(C) <= products`` bounds the output, so operand bytes plus a
+products-priced output bound is a sound *upper* estimate of the working
+set.  A request whose estimate cannot fit the device budget even after
+chunking headroom is shed with a typed
+:class:`~repro.errors.ServiceOverloadError` instead of being allowed to
+OOM after burning queue time; queue-depth overflow sheds the same way.
+
+The estimate works directly on either operand format: CSR rows are read
+off ``indptr``/``indices``; tiled operands reconstruct per-row counts
+and global column indices from the tile structure in O(nnz) vectorised
+work, so admission never converts or multiplies anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ServiceOverloadError
+
+__all__ = ["CostEstimate", "AdmissionController", "estimate_cost"]
+
+#: Bytes charged per intermediate product in the output bound: an 8-byte
+#: value plus a 4-byte index, the CSR-side price of one kept nonzero.
+_BYTES_PER_PRODUCT = 12
+
+
+def _row_nnz(m) -> np.ndarray:
+    """Nonzeros per row of ``m`` (CSR or tiled), length ``m.shape[0]``."""
+    if hasattr(m, "indptr"):
+        return np.diff(m.indptr).astype(np.int64)
+    # Tiled: the global row of element e in tile t of tile row r is
+    # r * T + rowidx[e]; reconstruct r per element and bincount.
+    tiles_per_row = np.diff(m.tileptr)
+    tile_row_of_tile = np.repeat(np.arange(m.num_tile_rows), tiles_per_row)
+    elem_tile = np.repeat(np.arange(m.num_tiles), np.diff(m.tilennz))
+    rows = tile_row_of_tile[elem_tile] * m.tile_size + m.rowidx.astype(np.int64)
+    return np.bincount(rows, minlength=m.shape[0]).astype(np.int64)
+
+
+def _col_indices(m) -> np.ndarray:
+    """Global column index of every stored element of ``m``."""
+    if hasattr(m, "indices"):
+        return m.indices
+    elem_tile = np.repeat(np.arange(m.num_tiles), np.diff(m.tilennz))
+    return m.tilecolidx[elem_tile].astype(np.int64) * m.tile_size + m.colidx
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """The upfront price of one multiply.
+
+    Attributes
+    ----------
+    products:
+        Exact count of intermediate products (``nnz(C) <= products``).
+    flops:
+        The paper's ``#flops``: ``2 * products``.
+    operand_bytes:
+        Resident bytes of the two operands.
+    c_upper_bytes:
+        Upper bound on the output's bytes, priced per product.
+    """
+
+    products: int
+    flops: int
+    operand_bytes: int
+    c_upper_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Upper bound on the request's working set."""
+        return self.operand_bytes + self.c_upper_bytes
+
+
+def estimate_cost(a, b) -> CostEstimate:
+    """Price ``a @ b`` without running any phase of it.
+
+    O(nnz) and allocation-light; accepts CSR or tiled operands in any
+    mix.  The products count is exact; the byte figures are upper
+    bounds (the admission contract needs soundness, not tightness).
+    """
+    b_rows = _row_nnz(b)
+    a_cols = _col_indices(a)
+    products = int(b_rows[a_cols].sum()) if a_cols.size else 0
+    nnz_c_bound = min(products, int(a.shape[0]) * int(b.shape[1]))
+    operand_bytes = int(a.memory_bytes() + b.memory_bytes())
+    return CostEstimate(
+        products=products,
+        flops=2 * products,
+        operand_bytes=operand_bytes,
+        c_upper_bytes=nnz_c_bound * _BYTES_PER_PRODUCT,
+    )
+
+
+class AdmissionController:
+    """The shed decision: queue depth and memory-estimate gates.
+
+    Parameters
+    ----------
+    max_queue_depth:
+        Hard bound of the request queue; ``admit`` sheds at this depth
+        (the queue itself enforces the same bound as a backstop).
+    budget_bytes:
+        Device budget the memory gate checks against; ``None`` disables
+        the memory gate (queue depth still applies).
+    headroom:
+        Multiplier on ``budget_bytes``: estimates are upper bounds and
+        execution can re-split on real OOM, so values above 1 admit
+        requests whose *bound* exceeds the budget as long as chunking
+        has a chance.  ``1.0`` (default) sheds anything whose bound does
+        not fit outright.
+    """
+
+    def __init__(
+        self,
+        max_queue_depth: int,
+        budget_bytes: Optional[int] = None,
+        headroom: float = 1.0,
+    ) -> None:
+        if max_queue_depth < 1:
+            raise ValueError(f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        if headroom <= 0:
+            raise ValueError(f"headroom must be > 0, got {headroom}")
+        self.max_queue_depth = int(max_queue_depth)
+        self.budget_bytes = None if budget_bytes is None else int(budget_bytes)
+        self.headroom = float(headroom)
+
+    def check_memory(self, estimate: CostEstimate) -> None:
+        """Shed when the upfront estimate cannot fit the device budget.
+
+        Waiting cannot fix an oversized request, so this gate fires
+        regardless of the submitter's backpressure mode.
+        """
+        if self.budget_bytes is None:
+            return
+        limit = int(self.budget_bytes * self.headroom)
+        if estimate.total_bytes > limit:
+            raise ServiceOverloadError(
+                "memory_estimate",
+                f"estimated working set {estimate.total_bytes} B "
+                f"(operands {estimate.operand_bytes} B + output bound "
+                f"{estimate.c_upper_bytes} B) exceeds {limit} B",
+            )
+
+    def check_depth(self, depth: int) -> None:
+        """Shed when the queue is at its bound."""
+        if depth >= self.max_queue_depth:
+            raise ServiceOverloadError(
+                "queue_full",
+                f"queue depth {depth} at configured bound {self.max_queue_depth}",
+            )

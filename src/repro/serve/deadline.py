@@ -1,0 +1,84 @@
+"""Deadlines and cooperative cancellation.
+
+Python threads cannot be killed, so a deadline is enforced at the
+points the service controls: before a queued request starts executing,
+before each shard is scheduled, and whenever a shard completes.  The
+:class:`CancelToken` carries the "stop now" signal *into* the worker
+pool — a shard still waiting for a pool slot when the token fires
+raises :class:`ShardCancelled` instead of computing, so an expired
+request stops consuming workers almost immediately while shards already
+running simply finish (their results are discarded).
+
+Both classes take an injectable clock so tests can drive deadlines
+deterministically without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.errors import DeadlineExceededError
+
+__all__ = ["Deadline", "CancelToken", "ShardCancelled"]
+
+
+class ShardCancelled(Exception):
+    """A shard observed its request's cancel token before starting.
+
+    Service-internal control flow, never surfaced to clients — the
+    request terminates with the :class:`~repro.errors`-typed error that
+    caused the cancellation (deadline, exhaustion).
+    """
+
+
+class CancelToken:
+    """A thread-safe one-way flag from the event loop into pool workers."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def set(self) -> None:
+        self._event.set()
+
+    def is_set(self) -> bool:
+        return self._event.is_set()
+
+    def raise_if_set(self) -> None:
+        if self._event.is_set():
+            raise ShardCancelled()
+
+
+class Deadline:
+    """One request's wall-clock budget, measured from construction.
+
+    ``budget_s=None`` never expires; ``remaining()`` then returns
+    ``None`` (the shape :func:`asyncio.wait` wants for its timeout).
+    """
+
+    def __init__(
+        self,
+        budget_s: Optional[float],
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.budget_s = None if budget_s is None else float(budget_s)
+        self._clock = clock
+        self._start = clock()
+
+    def elapsed(self) -> float:
+        return self._clock() - self._start
+
+    def remaining(self) -> Optional[float]:
+        if self.budget_s is None:
+            return None
+        return self.budget_s - self.elapsed()
+
+    def expired(self) -> bool:
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0
+
+    def check(self) -> None:
+        """Raise the typed deadline error when the budget is spent."""
+        if self.expired():
+            raise DeadlineExceededError(self.budget_s, self.elapsed())

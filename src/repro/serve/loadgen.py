@@ -1,0 +1,216 @@
+"""The load driver: open- and closed-loop request generators plus a report.
+
+A serving tier cannot be judged by a single request — its contracts
+(bounded queue, shed-under-overload, deadline accounting) only show up
+under concurrency.  The driver here builds a deterministic workload of
+synthetic operands (seeded, so two runs submit byte-identical requests),
+submits them either *closed-loop* (a burst of N requests all at once —
+the chaos-test shape) or *open-loop* (Poisson-less fixed-rate arrivals —
+the latency-benchmark shape), and folds every response into a
+:class:`LoadReport` with nearest-rank percentiles and the outcome
+breakdown the CLI and the benchmark suite both print.
+
+Latency percentiles use the nearest-rank definition (ceil(p/100 * N)-th
+smallest) — no interpolation, so small samples stay honest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.matrices.generators import random_uniform
+from repro.serve.request import OUTCOME_SERVED, OUTCOMES, ServeResponse
+
+__all__ = ["LoadReport", "make_workload", "run_closed_loop", "run_open_loop"]
+
+
+def make_workload(
+    num_requests: int,
+    *,
+    n: int = 256,
+    nnz_per_row: float = 8.0,
+    seed: int = 0,
+    distinct: int = 4,
+):
+    """Deterministic operand pairs for a load run.
+
+    ``distinct`` caps how many unique matrices are generated; requests
+    cycle through them, which is the serving story (many requests over a
+    small resident operand set) and keeps the tile cache warm.
+    """
+    pool = [
+        random_uniform(n, nnz_per_row, seed=seed + k).to_csr()
+        for k in range(distinct)
+    ]
+    return [
+        (pool[k % distinct], pool[(k + 1) % distinct])
+        for k in range(num_requests)
+    ]
+
+
+@dataclass
+class LoadReport:
+    """Aggregate view of one load run."""
+
+    submitted: int = 0
+    outcomes: Dict[str, int] = field(
+        default_factory=lambda: {o: 0 for o in OUTCOMES}
+    )
+    latencies_s: List[float] = field(default_factory=list)
+    queue_s: List[float] = field(default_factory=list)
+    shards_run: int = 0
+    resplits: int = 0
+    retries: int = 0
+    wall_s: float = 0.0
+
+    def add(self, resp: ServeResponse) -> None:
+        self.submitted += 1
+        self.outcomes[resp.outcome] = self.outcomes.get(resp.outcome, 0) + 1
+        self.latencies_s.append(resp.latency_s)
+        self.queue_s.append(resp.queue_s)
+        self.shards_run += resp.shards_run
+        self.resplits += resp.resplits
+        self.retries += resp.retries
+
+    @property
+    def served(self) -> int:
+        return self.outcomes.get(OUTCOME_SERVED, 0)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile of the latency sample (seconds)."""
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.served / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "submitted": self.submitted,
+            "outcomes": dict(self.outcomes),
+            "p50_ms": self.percentile(50) * 1e3,
+            "p99_ms": self.percentile(99) * 1e3,
+            "mean_queue_ms": (
+                float(np.mean(self.queue_s)) * 1e3 if self.queue_s else 0.0
+            ),
+            "throughput_rps": self.throughput_rps,
+            "shards_run": self.shards_run,
+            "resplits": self.resplits,
+            "retries": self.retries,
+            "wall_s": self.wall_s,
+        }
+
+    def summary(self) -> str:
+        d = self.to_dict()
+        parts = [f"{self.submitted} submitted"]
+        parts += [
+            f"{count} {outcome}"
+            for outcome, count in self.outcomes.items()
+            if count
+        ]
+        parts.append(f"p50 {d['p50_ms']:.2f} ms")
+        parts.append(f"p99 {d['p99_ms']:.2f} ms")
+        parts.append(f"{d['throughput_rps']:.1f} served/s")
+        return ", ".join(parts)
+
+
+async def run_closed_loop(
+    service,
+    workload,
+    *,
+    tenants: int = 1,
+    deadline_s: Optional[float] = None,
+    budget_bytes: Optional[int] = None,
+    backpressure: str = "wait",
+    clock=None,
+) -> LoadReport:
+    """Submit the whole workload at once and await every response.
+
+    The burst shape: all requests in flight together, spread round-robin
+    over ``tenants`` synthetic clients.  With ``backpressure="wait"``
+    the queue bound throttles the burst; with ``"shed"`` the overflow
+    comes back as typed shed responses — both are valid runs, the report
+    tells them apart.
+    """
+    import time as _time
+
+    clock = clock or _time.perf_counter
+    report = LoadReport()
+    t0 = clock()
+    responses = await asyncio.gather(
+        *(
+            service.submit(
+                a,
+                b,
+                tenant=f"tenant{k % tenants}",
+                deadline_s=deadline_s,
+                budget_bytes=budget_bytes,
+                backpressure=backpressure,
+            )
+            for k, (a, b) in enumerate(workload)
+        )
+    )
+    report.wall_s = clock() - t0
+    for resp in responses:
+        report.add(resp)
+    return report
+
+
+async def run_open_loop(
+    service,
+    workload,
+    *,
+    rate_rps: float,
+    tenants: int = 1,
+    deadline_s: Optional[float] = None,
+    budget_bytes: Optional[int] = None,
+    clock=None,
+) -> LoadReport:
+    """Fixed-rate arrivals: one request every ``1/rate_rps`` seconds.
+
+    Open-loop means arrivals do *not* slow down when the service does —
+    the honest way to measure overload behaviour, so submissions use the
+    shed (fail-fast) backpressure mode.
+    """
+    import time as _time
+
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be > 0, got {rate_rps}")
+    clock = clock or _time.perf_counter
+    report = LoadReport()
+    interval = 1.0 / rate_rps
+    pending = []
+    t0 = clock()
+    for k, (a, b) in enumerate(workload):
+        pending.append(
+            asyncio.ensure_future(
+                service.submit(
+                    a,
+                    b,
+                    tenant=f"tenant{k % tenants}",
+                    deadline_s=deadline_s,
+                    budget_bytes=budget_bytes,
+                    backpressure="shed",
+                )
+            )
+        )
+        # Sleep to the schedule, not by the interval: submission overhead
+        # must not stretch the arrival process.
+        next_arrival = t0 + (k + 1) * interval
+        delay = next_arrival - clock()
+        if delay > 0 and k + 1 < len(workload):
+            await asyncio.sleep(delay)
+    responses = await asyncio.gather(*pending)
+    report.wall_s = clock() - t0
+    for resp in responses:
+        report.add(resp)
+    return report

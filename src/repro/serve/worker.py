@@ -1,0 +1,118 @@
+"""The worker bridge: shard multiplies on a thread pool, awaited from asyncio.
+
+The event loop must never run a multiply — a single symbolic phase would
+stall every queue, deadline and admission decision in the process.  The
+bridge owns a :class:`~concurrent.futures.ThreadPoolExecutor` and turns
+each shard into an awaitable: the loop schedules shards, the pool
+computes them, NumPy releases the GIL for the bulk of the work.  Thread
+pool (not process) is deliberate: shards share the resident ``B``
+operand by reference, which is the serving story — many requests over
+one resident operand set.
+
+Pool workers run with empty ambient context stacks (both the execution
+and observability contexts are thread-local), so a request's budget and
+fault plan reach its shards only as the explicit ``opts`` the service
+forwards — one tenant's fault plan can never leak into another's shard.
+
+**Worker death.**  A shard callable that raises
+:class:`~concurrent.futures.BrokenExecutor` (or a pool broken outright)
+is the modelled analogue of a worker process dying mid-shard.  The
+bridge can be told to :meth:`replace_pool` — the broken pool is
+abandoned, a fresh one takes over, and only the shard that was lost is
+re-run; sibling requests keep their queued shards.
+
+``run_fn`` is injectable so tests can fault specific shards (die once,
+then heal) without touching the engine.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
+from typing import Callable, Dict, Optional
+
+from repro.core.tile_matrix import TileMatrix
+from repro.serve.deadline import CancelToken
+
+__all__ = ["WorkerBridge", "default_run_shard", "BrokenExecutor"]
+
+
+def default_run_shard(a_shard: TileMatrix, b: TileMatrix, opts: Dict[str, object]):
+    """One shard's multiply: ``tile_spgemm`` keeping empty tiles for the
+    order-preserving stitch (exactly the parallel engine's shard body)."""
+    from repro.core.tilespgemm import tile_spgemm
+
+    res = tile_spgemm(a_shard, b, keep_empty_tiles=True, **opts)
+    # The stitch never reads these and they pin large intermediates.
+    res.pairs = None
+    res.symbolic = None
+    return res
+
+
+class WorkerBridge:
+    """Owns the compute pool and the loop→thread handoff.
+
+    Parameters
+    ----------
+    workers:
+        Pool size (>= 1).
+    run_fn:
+        Shard body ``(a_shard, b, opts) -> TileSpGEMMResult``; defaults
+        to :func:`default_run_shard`.  Tests inject faulty bodies here.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        run_fn: Optional[Callable] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self._run_fn = run_fn or default_run_shard
+        self._lock = threading.Lock()
+        self._pool = self._make_pool()
+        self.pool_replacements = 0
+
+    def _make_pool(self) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve"
+        )
+
+    async def run(
+        self,
+        a_shard: TileMatrix,
+        b: TileMatrix,
+        opts: Dict[str, object],
+        token: Optional[CancelToken] = None,
+    ):
+        """Await one shard.  Raises whatever the shard body raises —
+        :class:`~repro.errors.DeviceOOMError`,
+        :class:`~repro.errors.TransientKernelError`,
+        :class:`~concurrent.futures.BrokenExecutor`,
+        :class:`~repro.serve.deadline.ShardCancelled` — for the service's
+        recovery loop to sort out."""
+        import asyncio
+
+        def _call():
+            if token is not None:
+                token.raise_if_set()
+            return self._run_fn(a_shard, b, opts)
+
+        loop = asyncio.get_running_loop()
+        with self._lock:
+            pool = self._pool
+        return await loop.run_in_executor(pool, _call)
+
+    def replace_pool(self) -> None:
+        """Abandon the (presumed broken) pool and start a fresh one."""
+        with self._lock:
+            old = self._pool
+            self._pool = self._make_pool()
+            self.pool_replacements += 1
+        old.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            pool = self._pool
+        pool.shutdown(wait=wait, cancel_futures=not wait)
