@@ -1,0 +1,149 @@
+"""Offline SLO analysis from a Prometheus text snapshot.
+
+The serving tier exports its accounting in the Prometheus text format
+(``repro serve run --metrics serve.prom``, or a live ``/metrics``
+scrape).  This module reads that text back and reproduces the SLO math
+offline: per-tenant attainment against a latency objective, derived from
+the ``serve_latency_seconds`` histogram buckets and the
+``serve_outcomes_total`` counters — the same numbers the live
+``slo_attainment`` / ``slo_error_budget_burn_rate`` gauges report,
+recomputed from first principles so the two can be cross-checked.
+
+The histogram gives an *upper bound* view: requests are counted "within
+the target" using the smallest bucket bound >= the target, so choose a
+target on a bucket boundary (the default 0.5 s is one) for exact
+agreement with the live gauges.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Tuple
+
+from repro.analysis.reporting import format_table
+
+__all__ = [
+    "parse_prometheus_text",
+    "slo_report_from_text",
+    "render_slo_report",
+]
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_RE = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus_text(
+    text: str,
+) -> List[Tuple[str, Dict[str, str], float]]:
+    """Parse exposition text into ``(name, labels, value)`` samples.
+
+    Comment/HELP/TYPE lines are skipped; label values are unescaped per
+    the format's three escapes (``\\\\``, ``\\"``, ``\\n``).
+    """
+    samples: List[Tuple[str, Dict[str, str], float]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            continue
+        labels: Dict[str, str] = {}
+        if m.group("labels"):
+            for lm in _LABEL_RE.finditer(m.group("labels")):
+                value = (
+                    lm.group(2)
+                    .replace("\\n", "\n")
+                    .replace('\\"', '"')
+                    .replace("\\\\", "\\")
+                )
+                labels[lm.group(1)] = value
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            continue
+        samples.append((m.group("name"), labels, value))
+    return samples
+
+
+def slo_report_from_text(
+    text: str,
+    latency_target_s: float = 0.5,
+    objective: float = 0.95,
+) -> Dict[str, Dict[str, Any]]:
+    """Per-tenant SLO report recomputed from a metrics snapshot.
+
+    For each tenant seen in ``serve_latency_seconds_bucket``:
+
+    * ``total`` — requests finished (the ``+Inf`` bucket count);
+    * ``within_target`` — requests at or under the smallest bucket bound
+      >= ``latency_target_s``;
+    * ``served`` — the tenant's ``serve_outcomes_total{outcome="served"}``;
+    * ``good`` — ``min(within_target, served)``: a request only counts
+      when it was *served* in time (a fast shed is not good service);
+    * ``attainment`` and ``burn_rate`` — as the live gauges define them.
+    """
+    if not 0.0 < objective < 1.0:
+        raise ValueError(f"objective must be in (0, 1), got {objective}")
+    samples = parse_prometheus_text(text)
+    buckets: Dict[str, List[Tuple[float, float]]] = {}
+    served: Dict[str, float] = {}
+    outcomes: Dict[str, Dict[str, float]] = {}
+    for name, labels, value in samples:
+        tenant = labels.get("tenant", "")
+        if name == "serve_latency_seconds_bucket":
+            bound = labels.get("le", "+Inf")
+            le = float("inf") if bound == "+Inf" else float(bound)
+            buckets.setdefault(tenant, []).append((le, value))
+        elif name == "serve_outcomes_total":
+            outcome = labels.get("outcome", "")
+            outcomes.setdefault(tenant, {})[outcome] = value
+            if outcome == "served":
+                served[tenant] = value
+
+    report: Dict[str, Dict[str, Any]] = {}
+    for tenant in sorted(buckets):
+        series = sorted(buckets[tenant])
+        total = series[-1][1] if series else 0.0
+        within = next(
+            (count for le, count in series if le >= latency_target_s), 0.0
+        )
+        good = min(within, served.get(tenant, 0.0))
+        attainment = (good / total) if total else 1.0
+        report[tenant] = {
+            "total": int(total),
+            "within_target": int(within),
+            "served": int(served.get(tenant, 0.0)),
+            "good": int(good),
+            "attainment": attainment,
+            "objective": objective,
+            "burn_rate": (1.0 - attainment) / (1.0 - objective),
+            "latency_target_s": latency_target_s,
+            "outcomes": outcomes.get(tenant, {}),
+        }
+    return report
+
+
+def render_slo_report(report: Dict[str, Dict[str, Any]]) -> str:
+    """The report as an aligned ASCII table (one row per tenant)."""
+    rows = [
+        [
+            tenant,
+            row["total"],
+            row["good"],
+            row["attainment"],
+            row["objective"],
+            row["burn_rate"],
+        ]
+        for tenant, row in sorted(report.items())
+    ]
+    return format_table(
+        ["tenant", "total", "good", "attainment", "objective", "burn"],
+        rows,
+        title="per-tenant SLO attainment",
+        float_fmt="{:.3f}",
+    )

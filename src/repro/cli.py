@@ -40,6 +40,12 @@ resilient async serving tier under generated load::
     python -m repro serve run --requests 32 --deadline 2.0
     python -m repro serve load --rate 50 --metrics serve.prom
 
+and an ``obs`` subcommand family watches a running service live or
+reports per-tenant SLO attainment from a metrics snapshot::
+
+    python -m repro obs top --url http://127.0.0.1:9100
+    python -m repro obs slo --metrics serve.prom --target 0.5
+
 ``--trace`` writes a Chrome trace-event file loadable in Perfetto,
 ``--metrics`` a Prometheus text dump of the kernel counters, ``--profile``
 prints a top-spans wall-clock report, and ``--json`` replaces the
@@ -221,6 +227,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.serve.cli import serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "obs":
+        # Live/offline telemetry views (docs/OBSERVABILITY.md): `obs top`
+        # watches a --listen endpoint, `obs slo` reports from a snapshot.
+        from repro.obs.cli import obs_main
+
+        return obs_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if not 0 <= args.d < len(_DEVICES):
         print(f"error: unknown device ordinal {args.d}", file=sys.stderr)

@@ -116,6 +116,17 @@ class DeviceOOMError(ReproError, MemoryError):
             f"with {self.live_bytes} B live (budget {budget})"
         )
 
+    def __reduce__(self):
+        # The default Exception reduction replays ``args`` — a single
+        # message string here — into the four-argument ``__init__`` and
+        # fails.  Replaying the real constructor arguments keeps OOMs
+        # picklable, which process-pool serve workers need so the
+        # coordinator's re-split path can see the failure.
+        return (
+            type(self),
+            (self.label, self.requested_bytes, self.live_bytes, self.budget_bytes),
+        )
+
 
 class TransientKernelError(ReproError, RuntimeError):
     """A kernel failed in a way expected to vanish on retry.
@@ -128,10 +139,16 @@ class TransientKernelError(ReproError, RuntimeError):
 
     def __init__(self, site: str, detail: str = "") -> None:
         self.site = site
+        self.detail = detail
         msg = f"transient kernel fault at {site!r}"
         if detail:
             msg += f": {detail}"
         super().__init__(msg)
+
+    def __reduce__(self):
+        # See DeviceOOMError.__reduce__: without this, unpickling replays
+        # the rendered message into ``site`` and double-wraps it.
+        return (type(self), (self.site, self.detail))
 
 
 class CommFailure(TransientKernelError):
@@ -149,6 +166,7 @@ class CommFailure(TransientKernelError):
         RuntimeError.__init__(self, msg)
         self.site = stage
         self.stage = stage
+        self.detail = detail  # inherited __reduce__ replays (site, detail)
 
 
 class ResilienceExhausted(ReproError):
@@ -192,6 +210,11 @@ class DeadlineExceededError(ReproError, TimeoutError):
             f"deadline of {self.deadline_s:.3f} s exceeded "
             f"({self.elapsed_s:.3f} s elapsed)"
         )
+
+    def __reduce__(self):
+        # See DeviceOOMError.__reduce__: replay the constructor args so
+        # the exception survives the process-pool result pickle.
+        return (type(self), (self.deadline_s, self.elapsed_s))
 
 
 class BenchRegressionError(ReproError):

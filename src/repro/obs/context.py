@@ -7,18 +7,26 @@ run is wrapped in :func:`obs_context` and instrumented call sites consult
 :func:`current_obs`.
 
 Outside any context, :func:`current_obs` returns :data:`NULL_OBS` — a
-shared disabled context whose tracer and metrics are the no-op
-singletons, so un-instrumented runs pay one list lookup per site and
-nothing else.  Contexts nest; fields left ``None`` inherit from the
+shared disabled context whose tracer, metrics and event log are the
+no-op singletons, so un-instrumented runs pay one list lookup per site
+and nothing else.  Contexts nest; fields left ``None`` inherit from the
 enclosing context.
 
 Like the execution context, the stack is **per-thread**
 (:class:`threading.local`): pool workers of the sharded parallel engine
 start with an empty stack and therefore report to :data:`NULL_OBS` —
 a :class:`~repro.obs.trace.Tracer` is not safe to drive from several
-threads, so the engine records per-shard spans and merged metrics from
-the coordinating thread instead.  The module imports nothing from the
-rest of the package, so every layer can depend on it without cycles.
+threads.  Cross-boundary attribution is handled one level up: the
+engines ship a :class:`~repro.obs.propagate.TraceContext` to each
+worker, the worker records spans into a *local* tracer under
+:func:`~repro.obs.propagate.run_with_worker_obs`, and the coordinator
+merges the shipped telemetry back
+(:func:`~repro.obs.propagate.absorb_telemetry`).  The ambient
+``trace_ctx`` field carries the propagated identity so nested engines
+keep attributing work to the request that caused it.
+
+The module imports nothing from the rest of the package (beyond the
+sibling sink modules), so every layer can depend on it without cycles.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
+from repro.obs.log import NULL_LOG, EventLog, NullEventLog
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 
@@ -52,6 +61,14 @@ class ObsContext:
     metrics:
         A :class:`~repro.obs.metrics.MetricsRegistry` or the no-op
         :data:`~repro.obs.metrics.NULL_METRICS`.
+    log:
+        A structured :class:`~repro.obs.log.EventLog` or the no-op
+        :data:`~repro.obs.log.NULL_LOG`.
+    trace_ctx:
+        The propagated :class:`~repro.obs.propagate.TraceContext` this
+        work runs under (``None`` at top level).  Engines that fan work
+        out to pools consult this so shards stay attributed to the
+        originating request across thread/process boundaries.
     enabled:
         True when at least one sink is live.  Guarded call sites check
         this before computing attribute/metric values so disabled runs
@@ -60,6 +77,8 @@ class ObsContext:
 
     tracer: object = NULL_TRACER
     metrics: object = NULL_METRICS
+    log: object = NULL_LOG
+    trace_ctx: Optional[object] = None
     enabled: bool = False
 
 
@@ -82,39 +101,74 @@ def current_obs() -> ObsContext:
     return items[-1] if items else NULL_OBS
 
 
-def make_obs(trace: bool = True, metrics: bool = True, clock=None) -> ObsContext:
+def make_obs(
+    trace: bool = True,
+    metrics: bool = True,
+    log: bool = False,
+    clock=None,
+    log_path=None,
+) -> ObsContext:
     """Build an enabled context with fresh sinks.
 
     Parameters
     ----------
-    trace, metrics:
-        Which sinks to enable; a disabled sink stays the no-op singleton.
+    trace, metrics, log:
+        Which sinks to enable; a disabled sink stays the no-op
+        singleton.  The event log defaults off — it is the serving
+        tier's sink and pure-library runs rarely want it.
     clock:
         Optional deterministic clock forwarded to the tracer.
+    log_path:
+        Optional JSON-lines file the event log streams into (implies
+        ``log=True``).
     """
     tracer = (Tracer(clock=clock) if clock is not None else Tracer()) if trace else NULL_TRACER
     registry = MetricsRegistry() if metrics else NULL_METRICS
-    return ObsContext(tracer=tracer, metrics=registry, enabled=trace or metrics)
+    event_log = (
+        EventLog(path=log_path) if (log or log_path is not None) else NULL_LOG
+    )
+    enabled = trace or metrics or event_log.enabled
+    return ObsContext(
+        tracer=tracer, metrics=registry, log=event_log, enabled=enabled
+    )
+
+
+def _is_live(sink) -> bool:
+    return not isinstance(sink, (NullTracer, NullMetrics, NullEventLog))
 
 
 @contextmanager
 def obs_context(
     tracer: Optional[object] = None,
     metrics: Optional[object] = None,
+    log: Optional[object] = None,
+    trace_ctx: Optional[object] = None,
 ) -> Iterator[ObsContext]:
     """Activate an observability context for the ``with`` block.
 
     Fields left ``None`` inherit from the enclosing context (the no-op
     singletons at top level), so a library layer can add a metrics
-    registry without disturbing an outer tracer.
+    registry without disturbing an outer tracer.  ``trace_ctx`` likewise
+    inherits, so a propagated request identity survives nested
+    ``obs_context`` entries on the same thread.
     """
     parent = current_obs()
     if tracer is None:
         tracer = parent.tracer
     if metrics is None:
         metrics = parent.metrics
-    enabled = not isinstance(tracer, NullTracer) or not isinstance(metrics, NullMetrics)
-    ctx = ObsContext(tracer=tracer, metrics=metrics, enabled=enabled)
+    if log is None:
+        log = parent.log
+    if trace_ctx is None:
+        trace_ctx = parent.trace_ctx
+    enabled = _is_live(tracer) or _is_live(metrics) or _is_live(log)
+    ctx = ObsContext(
+        tracer=tracer,
+        metrics=metrics,
+        log=log,
+        trace_ctx=trace_ctx,
+        enabled=enabled,
+    )
     _STACK.items.append(ctx)
     try:
         yield ctx

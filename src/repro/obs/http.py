@@ -1,0 +1,192 @@
+"""Live telemetry endpoint: ``/metrics``, ``/healthz`` and ``/varz``.
+
+A long-running serve process is only observable if its counters can be
+scraped *while it runs* — writing a ``metrics.prom`` artifact at exit is
+fine for batch runs and useless for a service.  :class:`TelemetryServer`
+exposes the live :class:`~repro.obs.metrics.MetricsRegistry` over a tiny
+stdlib HTTP server on a daemon thread:
+
+* ``GET /metrics`` — Prometheus text exposition (v0.0.4), rendered from
+  the live registry at scrape time;
+* ``GET /healthz`` — ``ok`` (200) while the optional ``health_fn`` says
+  so, 503 otherwise — the readiness probe;
+* ``GET /varz``   — a JSON status snapshot from ``varz_fn`` (queue
+  depth, high-water, in-flight count, outcome counters...), all values
+  coerced to native types.
+
+Scrapes race with metric updates by design — the registry's dicts are
+only guarded by the GIL, so a scrape can observe a dict mid-resize and
+get ``RuntimeError: dictionary changed size during iteration``.  The
+handler retries the render a few times before giving up with a 503; a
+Prometheus scraper treats that as one missed scrape, which is the
+correct semantic (the alternative, locking every ``inc()`` on the hot
+path, would tax the algorithm to benefit the scraper).
+
+Only the standard library is imported; the server binds to
+``127.0.0.1`` and an ephemeral port by default.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.obs.native import json_default, to_native
+
+__all__ = ["TelemetryServer", "parse_listen"]
+
+#: Renders retried on ``RuntimeError`` (scrape racing a dict resize).
+_SCRAPE_RETRIES = 8
+
+
+def parse_listen(value: str) -> Tuple[str, int]:
+    """Parse a ``HOST:PORT`` listen spec (``:PORT`` binds localhost)."""
+    host, sep, port = value.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"invalid listen spec {value!r} (want HOST:PORT)")
+    return (host or "127.0.0.1", int(port))
+
+
+class TelemetryServer:
+    """A stdlib HTTP server exposing live metrics and status.
+
+    Parameters
+    ----------
+    metrics:
+        The live registry rendered at ``/metrics`` (``None`` → empty
+        exposition).
+    varz_fn:
+        Zero-arg callable returning the ``/varz`` status dict (``None``
+        → ``{}``).  Called at request time; values are coerced via
+        :func:`~repro.obs.native.to_native` before JSON encoding.
+    health_fn:
+        Zero-arg callable; truthy → ``/healthz`` answers 200 ``ok``,
+        falsy → 503 ``unhealthy``.  ``None`` → always healthy.
+    host, port:
+        Bind address; port 0 picks an ephemeral port — read the bound
+        one from :attr:`address` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        metrics: Optional[object] = None,
+        varz_fn: Optional[Callable[[], Dict[str, Any]]] = None,
+        health_fn: Optional[Callable[[], bool]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.metrics = metrics
+        self.varz_fn = varz_fn
+        self.health_fn = health_fn
+        self._host = host
+        self._port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # --------------------------------------------------------- lifecycle
+    def start(self) -> Tuple[str, int]:
+        """Bind and serve on a daemon thread; returns ``(host, port)``."""
+        if self._httpd is not None:
+            return self.address
+        server = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+                server._handle(self)
+
+            def log_message(self, fmt: str, *args: Any) -> None:
+                pass  # scrapes must not spam stderr
+
+        self._httpd = ThreadingHTTPServer((self._host, self._port), _Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="telemetry-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.address
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._httpd is None:
+            return (self._host, self._port)
+        addr = self._httpd.server_address
+        return (str(addr[0]), int(addr[1]))
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "TelemetryServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.stop()
+        return False
+
+    # ---------------------------------------------------------- handlers
+    def _handle(self, request: BaseHTTPRequestHandler) -> None:
+        path = request.path.split("?", 1)[0]
+        if path == "/metrics":
+            body, status, ctype = self._render_metrics()
+        elif path == "/healthz":
+            body, status, ctype = self._render_health()
+        elif path == "/varz":
+            body, status, ctype = self._render_varz()
+        else:
+            body, status, ctype = (b"not found\n", 404, "text/plain")
+        request.send_response(status)
+        request.send_header("Content-Type", ctype)
+        request.send_header("Content-Length", str(len(body)))
+        request.end_headers()
+        request.wfile.write(body)
+
+    def _render_metrics(self) -> Tuple[bytes, int, str]:
+        ctype = "text/plain; version=0.0.4; charset=utf-8"
+        if self.metrics is None:
+            return (b"", 200, ctype)
+        for attempt in range(_SCRAPE_RETRIES):
+            try:
+                return (self.metrics.to_prometheus().encode(), 200, ctype)
+            except RuntimeError:
+                continue  # dict resized mid-scrape; re-render
+        return (b"scrape raced metric updates; retry\n", 503, "text/plain")
+
+    def _render_health(self) -> Tuple[bytes, int, str]:
+        healthy = True if self.health_fn is None else bool(self.health_fn())
+        if healthy:
+            return (b"ok\n", 200, "text/plain")
+        return (b"unhealthy\n", 503, "text/plain")
+
+    def _render_varz(self) -> Tuple[bytes, int, str]:
+        snapshot: Dict[str, Any] = {}
+        if self.varz_fn is not None:
+            for attempt in range(_SCRAPE_RETRIES):
+                try:
+                    snapshot = to_native(self.varz_fn())
+                    break
+                except RuntimeError:
+                    continue
+            else:
+                return (
+                    b'{"error": "varz raced updates; retry"}\n',
+                    503,
+                    "application/json",
+                )
+        body = json.dumps(snapshot, default=json_default, sort_keys=True)
+        return (body.encode() + b"\n", 200, "application/json")

@@ -1,0 +1,159 @@
+"""Structured JSON-lines event log, correlated by trace/request id.
+
+Traces answer "where did the time go", metrics answer "how often" — the
+event log answers "what exactly happened to request X, in order".  Every
+record is one JSON object per line::
+
+    {"ts": 1723100000.123, "event": "request_done", "trace_id": "...",
+     "tenant": "tenant0", "seq": 3, "outcome": "served", ...}
+
+Design points:
+
+* **Append-only and crash-safe** — when constructed with a ``path`` the
+  log writes (and flushes) each line as it is emitted, so a run that
+  dies mid-flight still leaves every event up to the failure on disk;
+* **Replayable** — :func:`replay_outcomes` folds a log back into the
+  per-request outcome tally, which must equal the
+  ``serve_outcomes_total`` counters of the same run (the acceptance
+  check of the serving tier's accounting);
+* **Native types only** — every field passes through
+  :func:`~repro.obs.native.to_native`, so NumPy scalars in event fields
+  can never crash the export;
+* **Zero-cost when disabled** — :data:`NULL_LOG` absorbs every call.
+
+Like the rest of :mod:`repro.obs`, only the standard library is
+imported.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.native import json_default, to_native
+
+__all__ = [
+    "EventLog",
+    "NullEventLog",
+    "NULL_LOG",
+    "load_events",
+    "replay_outcomes",
+]
+
+
+class EventLog:
+    """A thread-safe, append-only structured event log.
+
+    Parameters
+    ----------
+    path:
+        Optional file to stream JSON lines into as events are emitted
+        (opened immediately, line-buffered by explicit flush).  Without
+        a path events are only buffered in :attr:`records`;
+        :meth:`write` dumps them later.
+    clock:
+        Wall-clock source for the ``ts`` field (default
+        :func:`time.time`; tests inject a fake for deterministic logs).
+    """
+
+    enabled: bool = True
+
+    def __init__(self, path=None, clock=time.time) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.records: List[Dict[str, Any]] = []
+        self.path = path
+        self._fh = open(path, "a") if path is not None else None
+
+    def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
+        """Record one event; returns the record that was written."""
+        record: Dict[str, Any] = {"ts": float(self._clock()), "event": event}
+        for key, value in fields.items():
+            if value is not None:
+                record[key] = to_native(value)
+        with self._lock:
+            self.records.append(record)
+            if self._fh is not None:
+                self._fh.write(
+                    json.dumps(record, default=json_default) + "\n"
+                )
+                self._fh.flush()
+        return record
+
+    def write(self, path) -> None:
+        """Dump every buffered record to ``path`` as JSON lines."""
+        with self._lock:
+            records = list(self.records)
+        with open(path, "w") as fh:
+            for record in records:
+                fh.write(json.dumps(record, default=json_default) + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventLog(records={len(self.records)}, path={self.path!r})"
+
+
+class NullEventLog:
+    """The disabled log: every method is a no-op."""
+
+    enabled: bool = False
+    records: Tuple = ()
+
+    def emit(self, event: str, **fields: Any) -> None:
+        pass
+
+    def write(self, path) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Singleton used by the default (disabled) observability context.
+NULL_LOG = NullEventLog()
+
+
+def load_events(path) -> List[Dict[str, Any]]:
+    """Parse a JSON-lines event log back into records (blank-line safe)."""
+    records: List[Dict[str, Any]] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def replay_outcomes(
+    events: Iterable[Dict[str, Any]],
+    *,
+    event: str = "request_done",
+    by: str = "tenant",
+) -> Dict[Tuple[str, str], int]:
+    """Fold a log back into the per-request outcome tally.
+
+    Returns ``{(group, outcome): count}`` over every ``request_done``
+    record — the exact shape of the ``serve_outcomes_total`` counter
+    family, so a run's log replays into the same accounting its metrics
+    reported (the acceptance property of the serving tier).
+    """
+    tally: Dict[Tuple[str, str], int] = {}
+    for record in events:
+        if record.get("event") != event:
+            continue
+        key = (str(record.get(by, "")), str(record.get("outcome", "")))
+        tally[key] = tally.get(key, 0) + 1
+    return tally

@@ -148,6 +148,33 @@ class MetricsRegistry:
         """Current gauge value, or ``None`` if never set."""
         return self._gauges.get((name, _label_key(labels)))
 
+    def counter_items(self) -> List[Tuple[str, Dict[str, str], float]]:
+        """Every counter as ``(name, labels, value)`` triples.
+
+        The shape worker-telemetry shipping and the ``/varz`` endpoint
+        want: plain data, labels as a dict, values as native floats.
+        """
+        return [
+            (n, dict(lk), float(v))
+            for (n, lk), v in sorted(self._counters.items())
+        ]
+
+    def counter_samples(self, name: str) -> List[Tuple[Dict[str, str], float]]:
+        """All label sets of counter ``name`` with their values."""
+        return [
+            (dict(lk), float(v))
+            for (n, lk), v in sorted(self._counters.items())
+            if n == name
+        ]
+
+    def gauge_samples(self, name: str) -> List[Tuple[Dict[str, str], float]]:
+        """All label sets of gauge ``name`` with their values."""
+        return [
+            (dict(lk), float(v))
+            for (n, lk), v in sorted(self._gauges.items())
+            if n == name
+        ]
+
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """Deterministic plain-dict view of every metric.
 
@@ -157,17 +184,25 @@ class MetricsRegistry:
         equal snapshots — the comparability property the resilience
         tests pin down under a seeded fault plan.
         """
+        from repro.obs.native import to_native
+
+        # Coerce values to native types at export time: a counter bumped
+        # with an ``np.int64`` must not leak a NumPy scalar into JSON.
         counters = {
-            _render_key(n, lk): v for (n, lk), v in sorted(self._counters.items())
+            _render_key(n, lk): to_native(v)
+            for (n, lk), v in sorted(self._counters.items())
         }
-        gauges = {_render_key(n, lk): v for (n, lk), v in sorted(self._gauges.items())}
+        gauges = {
+            _render_key(n, lk): to_native(v)
+            for (n, lk), v in sorted(self._gauges.items())
+        }
         hists = {}
         for (n, lk), h in sorted(self._hists.items()):
             hists[_render_key(n, lk)] = {
-                "buckets": {str(b): c for b, c in zip(h["buckets"], h["counts"])}
-                | {"+Inf": h["counts"][-1]},
-                "sum": h["sum"],
-                "count": h["count"],
+                "buckets": {str(b): int(c) for b, c in zip(h["buckets"], h["counts"])}
+                | {"+Inf": int(h["counts"][-1])},
+                "sum": to_native(h["sum"]),
+                "count": int(h["count"]),
             }
         return {"counters": counters, "gauges": gauges, "histograms": hists}
 
@@ -273,6 +308,15 @@ class NullMetrics:
 
     def gauge_value(self, name: str, **labels: Any) -> Optional[float]:
         return None
+
+    def counter_items(self) -> List[Tuple[str, Dict[str, str], float]]:
+        return []
+
+    def counter_samples(self, name: str) -> List[Tuple[Dict[str, str], float]]:
+        return []
+
+    def gauge_samples(self, name: str) -> List[Tuple[Dict[str, str], float]]:
+        return []
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         return {"counters": {}, "gauges": {}, "histograms": {}}

@@ -1,0 +1,144 @@
+"""Per-tenant latency SLOs: attainment and error-budget burn rate.
+
+An SLO here is "fraction ``objective`` of requests complete successfully
+within ``latency_target_s``".  The tracker folds every finished request
+into per-tenant good/bad counts and exports two gauges:
+
+* ``slo_attainment{tenant=...}`` — fraction of requests that met the
+  objective so far (1.0 with no traffic: an empty window has consumed
+  no budget);
+* ``slo_error_budget_burn_rate{tenant=...}`` — how fast the tenant is
+  spending its error budget: ``bad_fraction / (1 - objective)``.  Burn
+  rate 1.0 means the budget is being consumed exactly as provisioned;
+  above 1.0 the tenant will exhaust its budget before the window ends
+  (the standard multi-window burn-rate alerting quantity).
+
+"Bad" means *either* a non-served outcome (shed, deadline, failed...)
+*or* a served response slower than the target — an SLO user cares about
+useful responses in time, not about which subsystem ate the request.
+
+The math is deliberately cumulative over the run (no decaying window):
+runs here are minutes, not weeks, and cumulative counts keep replay
+(:func:`repro.obs.log.replay_outcomes`) and metrics in exact agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["SLOPolicy", "SLOTracker", "DEFAULT_SLO"]
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """One latency objective applied to every tenant.
+
+    Attributes
+    ----------
+    latency_target_s:
+        A request is "good" when served within this many seconds.
+    objective:
+        Target fraction of good requests (e.g. ``0.95``); defines the
+        error budget ``1 - objective``.
+    """
+
+    latency_target_s: float = 0.5
+    objective: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1), got {self.objective}"
+            )
+        if self.latency_target_s <= 0:
+            raise ValueError(
+                f"latency_target_s must be positive, got {self.latency_target_s}"
+            )
+
+    @property
+    def error_budget(self) -> float:
+        """The allowed bad fraction, ``1 - objective``."""
+        return 1.0 - self.objective
+
+
+DEFAULT_SLO = SLOPolicy()
+
+
+class SLOTracker:
+    """Folds finished requests into per-tenant SLO gauges.
+
+    Parameters
+    ----------
+    policy:
+        The :class:`SLOPolicy` applied to every tenant.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; when
+        given, :meth:`record` refreshes the ``slo_attainment`` and
+        ``slo_error_budget_burn_rate`` gauges for the tenant on every
+        request, so a mid-run ``/metrics`` scrape sees current values.
+    """
+
+    def __init__(self, policy: SLOPolicy = DEFAULT_SLO, metrics=None) -> None:
+        self.policy = policy
+        self.metrics = metrics
+        self._good: Dict[str, int] = {}
+        self._total: Dict[str, int] = {}
+        if metrics is not None:
+            metrics.describe(
+                "slo_attainment",
+                "Fraction of requests served within the latency target",
+            )
+            metrics.describe(
+                "slo_error_budget_burn_rate",
+                "Error-budget consumption rate (1.0 = budget spent exactly as provisioned)",
+            )
+
+    def record(self, tenant: str, latency_s: float, served: bool) -> bool:
+        """Fold one finished request; returns whether it was good."""
+        good = bool(served) and latency_s <= self.policy.latency_target_s
+        self._total[tenant] = self._total.get(tenant, 0) + 1
+        if good:
+            self._good[tenant] = self._good.get(tenant, 0) + 1
+        if self.metrics is not None:
+            self.metrics.set_gauge(
+                "slo_attainment", self.attainment(tenant), tenant=tenant
+            )
+            self.metrics.set_gauge(
+                "slo_error_budget_burn_rate",
+                self.burn_rate(tenant),
+                tenant=tenant,
+            )
+        return good
+
+    # ------------------------------------------------------------ queries
+    def tenants(self) -> List[str]:
+        return sorted(self._total)
+
+    def attainment(self, tenant: str) -> float:
+        """Good fraction for ``tenant`` (1.0 with no traffic)."""
+        total = self._total.get(tenant, 0)
+        if total == 0:
+            return 1.0
+        return self._good.get(tenant, 0) / total
+
+    def burn_rate(self, tenant: str) -> float:
+        """Error-budget burn rate: ``bad_fraction / error_budget``."""
+        return (1.0 - self.attainment(tenant)) / self.policy.error_budget
+
+    def report(self) -> Dict[str, Dict[str, Any]]:
+        """Per-tenant summary (deterministic key order)."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for tenant in self.tenants():
+            total = self._total[tenant]
+            good = self._good.get(tenant, 0)
+            out[tenant] = {
+                "total": total,
+                "good": good,
+                "bad": total - good,
+                "attainment": self.attainment(tenant),
+                "objective": self.policy.objective,
+                "burn_rate": self.burn_rate(tenant),
+                "latency_target_s": self.policy.latency_target_s,
+            }
+        return out

@@ -131,6 +131,17 @@ class Tracer:
         self._stack: List[Span] = []
         self._seq = 0
 
+    @property
+    def epoch_s(self) -> float:
+        """Absolute clock value of this tracer's zero point.
+
+        Under the default :func:`time.perf_counter` clock this is a
+        system-wide monotonic timestamp, which is what lets
+        :func:`repro.obs.propagate.absorb_telemetry` re-base spans
+        recorded by pool workers onto this tracer's timeline exactly.
+        """
+        return self._epoch
+
     # ------------------------------------------------------------- recording
     def _now(self) -> float:
         return self._clock() - self._epoch
@@ -234,6 +245,8 @@ class Tracer:
         process/thread-name metadata (``"M"``) events.  Timestamps are
         microseconds since the tracer epoch, as the format requires.
         """
+        from repro.obs.native import to_native
+
         events: List[Dict[str, Any]] = []
         tracks: Dict[Tuple[str, str], None] = {}
         for sp in sorted(self.spans, key=lambda s: (s.start_s, s.seq)):
@@ -247,7 +260,10 @@ class Tracer:
                     "dur": sp.duration_s * 1e6,
                     "pid": sp.pid,
                     "tid": sp.tid,
-                    "args": sp.args,
+                    # Coerce at export time: span attrs routinely pick up
+                    # NumPy scalars (nnz counts, timings) and json.dump
+                    # refuses the integer kinds.
+                    "args": to_native(sp.args),
                 }
             )
         for ev in self.events:
@@ -259,7 +275,7 @@ class Tracer:
                 "ts": ev.ts_s * 1e6,
                 "pid": ev.pid,
                 "tid": ev.tid,
-                "args": ev.args,
+                "args": to_native(ev.args),
             }
             if ev.ph == "i":
                 record["s"] = "t"  # instant scope: thread
@@ -287,9 +303,16 @@ class Tracer:
         return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
 
     def write(self, path) -> None:
-        """Serialise :meth:`to_chrome_trace` to ``path`` as JSON."""
+        """Serialise :meth:`to_chrome_trace` to ``path`` as JSON.
+
+        Attribute values are coerced to native Python types first, and
+        anything still non-serialisable degrades to its ``str()`` — a
+        stray object attribute must never cost the whole trace.
+        """
+        from repro.obs.native import json_default
+
         with open(path, "w") as fh:
-            json.dump(self.to_chrome_trace(), fh)
+            json.dump(self.to_chrome_trace(), fh, default=json_default)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Tracer(spans={len(self.spans)}, events={len(self.events)})"

@@ -24,8 +24,18 @@ via the pool initializer and sends only the per-task ``A`` shard.  Pool
 workers run with an empty ambient context (both context stacks are
 thread-local), so budgets and fault plans reach a shard only as the
 explicit arguments the engine forwards, and workers never race on the
-coordinator's tracer — per-shard spans are recorded by the coordinating
-thread from worker-reported timings.
+coordinator's tracer.
+
+**Tracing.**  When the ambient tracer is live each shard travels with a
+:class:`~repro.obs.propagate.TraceContext`; the worker records its spans
+into a local tracer (:func:`~repro.obs.propagate.run_with_worker_obs`)
+and ships them back with the result, and the coordinator merges them
+(:func:`~repro.obs.propagate.absorb_telemetry`) onto its own timeline
+with resolvable ``span_id``/``parent_span_id`` links: request/parallel
+span → coordinator shard span → worker-side step spans.  The summary
+``parallel.shard`` spans recorded from worker-reported timings are kept
+— they are the cheap always-on view; the absorbed worker spans add the
+inside-the-shard breakdown.
 
 **Backends.**  The engine resolves its kernel-backend spec to a registry
 *name* in the coordinator (covering the process default, which is module
@@ -58,6 +68,12 @@ from repro.core.tile_matrix import TileMatrix
 from repro.core.tilespgemm import TileSpGEMMResult, _record_obs_metrics, tile_spgemm
 from repro.errors import ConfigurationError, InvalidInputError, TransientKernelError
 from repro.obs.context import current_obs
+from repro.obs.propagate import (
+    TraceContext,
+    absorb_telemetry,
+    new_trace_id,
+    run_with_worker_obs,
+)
 from repro.runtime.chunked import batch_bounds, slice_tile_rows, stitch_results
 from repro.runtime.policy import ParallelPolicy
 from repro.runtime.tilecache import get_tile_cache
@@ -160,27 +176,41 @@ def _init_worker(b: TileMatrix, opts: Dict[str, object]) -> None:
     _WORKER_OPTS = opts
 
 
-def _run_shard(a_shard: TileMatrix, b: TileMatrix, opts: Dict[str, object]):
+def _run_shard(
+    a_shard: TileMatrix,
+    b: TileMatrix,
+    opts: Dict[str, object],
+    ctx: Optional[TraceContext] = None,
+):
     """One shard's multiply, timed with the system-wide monotonic clock.
 
-    Returns ``(result, start, end, track)`` where ``track`` names the
-    worker (thread name or worker PID) for the per-shard trace span.
-    ``pairs``/``symbolic`` are dropped: the stitch never reads them and
-    they dominate the pickling cost on the process pool.
+    Returns ``(result, start, end, track, telemetry)`` where ``track``
+    names the worker (thread name or worker PID) for the per-shard trace
+    span and ``telemetry`` is the worker-recorded
+    :class:`~repro.obs.propagate.WorkerTelemetry` (``None`` when the run
+    is untraced, i.e. ``ctx is None``).  ``pairs``/``symbolic`` are
+    dropped: the stitch never reads them and they dominate the pickling
+    cost on the process pool.
     """
+
+    def _body():
+        res = tile_spgemm(a_shard, b, keep_empty_tiles=True, **opts)
+        res.pairs = None
+        res.symbolic = None
+        return res
+
     start = time.perf_counter()
-    res = tile_spgemm(a_shard, b, keep_empty_tiles=True, **opts)
-    res.pairs = None
-    res.symbolic = None
+    res, telemetry = run_with_worker_obs(ctx, _body)
+    dur = time.perf_counter() - start
     if _WORKER_B is not None:  # a process-pool worker
         track = f"worker-pid-{os.getpid()}"
     else:
         track = threading.current_thread().name
-    return res, start, time.perf_counter() - start, track
+    return res, start, dur, track, telemetry
 
 
-def _run_shard_in_process(a_shard: TileMatrix):
-    return _run_shard(a_shard, _WORKER_B, _WORKER_OPTS)
+def _run_shard_in_process(a_shard: TileMatrix, ctx: Optional[TraceContext] = None):
+    return _run_shard(a_shard, _WORKER_B, _WORKER_OPTS, ctx)
 
 
 def _run_pair_in_process(pair: Tuple[TileMatrix, TileMatrix]):
@@ -205,6 +235,7 @@ def parallel_tile_spgemm(
     fault_plan=None,
     keep_empty_tiles: bool = True,
     backend=None,
+    mp_context=None,
     **kwargs,
 ) -> TileSpGEMMResult:
     """Multiply ``a @ b`` on a worker pool; byte-identical to serial.
@@ -239,6 +270,11 @@ def parallel_tile_spgemm(
         workers — process workers cannot see the coordinator's module
         state, only the registry they import themselves and the
         environment they inherit.
+    mp_context:
+        Optional :mod:`multiprocessing` context for the process pool
+        (e.g. ``multiprocessing.get_context("spawn")``); ``None`` uses
+        the platform default.  The propagation tests use this to pin the
+        start method the trace must survive.
     **kwargs:
         Remaining ``tile_spgemm`` options (``tnnz``, methods, dtype...).
 
@@ -293,17 +329,47 @@ def parallel_tile_spgemm(
     ]
 
     obs = current_obs()
+    # Trace propagation: when the tracer is live, every shard travels
+    # with a TraceContext.  Span identity lives in span args; ids are
+    # pre-assigned here so the coordinator's after-the-fact shard spans
+    # and the worker-recorded spans link up in the merged trace.
+    trace_live = bool(getattr(obs.tracer, "enabled", False))
+    ambient = obs.trace_ctx
+    shard_ctxs: Optional[List[TraceContext]] = None
+    span_attrs: Dict[str, object] = {}
+    parallel_span_id = ""
+    trace_id = ""
+    if trace_live:
+        trace_id = ambient.trace_id if ambient is not None else new_trace_id()
+        parallel_span_id = f"{trace_id}/{new_trace_id('par')}"
+        span_attrs = {
+            "trace_id": trace_id,
+            "span_id": parallel_span_id,
+            "parent_span_id": ambient.parent_span_id if ambient is not None else "",
+        }
+        shard_ctxs = [
+            TraceContext(trace_id, parent_span_id=f"{parallel_span_id}/shard{k}")
+            for k in range(num_shards)
+        ]
     with obs.tracer.span(
         "parallel_tile_spgemm",
         cat="parallel",
         workers=workers,
         shards=num_shards,
         executor=executor,
+        **span_attrs,
     ) as span:
         pool_t0 = time.perf_counter()
         try:
             shard_outputs = _run_pool(
-                executor, workers, b, opts, shard_inputs, policy
+                executor,
+                workers,
+                b,
+                opts,
+                shard_inputs,
+                policy,
+                ctxs=shard_ctxs,
+                mp_context=mp_context,
             )
         except (TransientKernelError, BrokenExecutor) as exc:
             if policy.on_worker_failure == "raise":
@@ -315,6 +381,13 @@ def parallel_tile_spgemm(
                     cat="parallel",
                     executor=executor,
                     error=type(exc).__name__,
+                )
+                obs.log.emit(
+                    "parallel_fallback",
+                    trace_id=trace_id or None,
+                    executor=executor,
+                    error=type(exc).__name__,
+                    detail=str(exc),
                 )
             res = tile_spgemm(
                 a,
@@ -331,8 +404,17 @@ def parallel_tile_spgemm(
 
         if obs.enabled:
             base = getattr(span, "start_s", 0.0) or 0.0
-            for k, (_, w_start, w_dur, track) in enumerate(shard_outputs):
+            for k, (_, w_start, w_dur, track, telemetry) in enumerate(
+                shard_outputs
+            ):
                 r0, r1 = int(bounds[k]), int(bounds[k + 1])
+                link_attrs: Dict[str, object] = {}
+                if trace_live:
+                    link_attrs = {
+                        "trace_id": trace_id,
+                        "span_id": f"{parallel_span_id}/shard{k}",
+                        "parent_span_id": parallel_span_id,
+                    }
                 obs.tracer.add_complete(
                     f"shard {k + 1}/{num_shards}",
                     base + max(w_start - pool_t0, 0.0),
@@ -341,6 +423,20 @@ def parallel_tile_spgemm(
                     tid=track,
                     cat="parallel.shard",
                     tile_rows=[r0, r1],
+                    **link_attrs,
+                )
+                # Merge the worker-recorded spans onto this timeline.
+                # ``epoch_s`` maps the worker's absolute clock onto the
+                # same zero the summary span above uses, so the two views
+                # line up even under a test-injected coordinator clock.
+                # Counters stay worker-local: the coordinator records the
+                # merged stats itself (below) and must not double-count.
+                absorb_telemetry(
+                    obs.tracer,
+                    telemetry,
+                    epoch_s=pool_t0 - base,
+                    metrics=None,
+                    pid="parallel.workers",
                 )
 
     merged = stitch_results(
@@ -368,26 +464,39 @@ def _run_pool(
     opts: Dict[str, object],
     shard_inputs: List[TileMatrix],
     policy: ParallelPolicy,
+    ctxs: Optional[List[TraceContext]] = None,
+    mp_context=None,
 ):
     """Submit every shard, collect results in shard order, retry per policy.
 
-    Raises the last shard error once retries are exhausted, and
-    :class:`~concurrent.futures.BrokenExecutor` as-is (a broken pool
-    cannot run retries) — the caller maps both onto the fallback.
+    ``ctxs`` (one :class:`~repro.obs.propagate.TraceContext` per shard,
+    or ``None`` for an untraced run) rides along with each submission —
+    including retries, so a retried shard's spans still land under its
+    own shard span.  Raises the last shard error once retries are
+    exhausted, and :class:`~concurrent.futures.BrokenExecutor` as-is (a
+    broken pool cannot run retries) — the caller maps both onto the
+    fallback.
     """
     if executor == "process":
         pool = ProcessPoolExecutor(
-            max_workers=workers, initializer=_init_worker, initargs=(b, opts)
+            max_workers=workers,
+            mp_context=mp_context,
+            initializer=_init_worker,
+            initargs=(b, opts),
         )
-        submit = lambda shard: pool.submit(_run_shard_in_process, shard)
+        submit = lambda k: pool.submit(
+            _run_shard_in_process, shard_inputs[k], ctxs[k] if ctxs else None
+        )
     else:
         pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-shard"
         )
-        submit = lambda shard: pool.submit(_run_shard, shard, b, opts)
+        submit = lambda k: pool.submit(
+            _run_shard, shard_inputs[k], b, opts, ctxs[k] if ctxs else None
+        )
 
     with pool:
-        futures = [submit(shard) for shard in shard_inputs]
+        futures = [submit(k) for k in range(len(shard_inputs))]
         outputs = []
         for k, fut in enumerate(futures):
             attempt = 0
@@ -401,7 +510,7 @@ def _run_pool(
                     if attempt >= policy.max_shard_retries:
                         raise
                     attempt += 1
-                    fut = submit(shard_inputs[k])
+                    fut = submit(k)
     return outputs
 
 

@@ -281,10 +281,17 @@ def _run_ladder(
     from repro.core.tilespgemm import tile_spgemm
     from repro.runtime.chunked import chunked_tile_spgemm
 
+    trace_id = getattr(obs.trace_ctx, "trace_id", None)
     for rung, method in enumerate(policy.ladder):
         if rung > 0 and obs.enabled:
             obs.metrics.inc("resilience_fallbacks_total", method=method)
             obs.tracer.instant("fallback", cat="resilience", method=method, rung=rung)
+            obs.log.emit(
+                "resilience_fallback",
+                trace_id=trace_id,
+                method=method,
+                rung=rung,
+            )
         if method == "tilespgemm":
             if at is None:
                 at = TileMatrix.from_csr(a)
@@ -324,6 +331,15 @@ def _run_ladder(
                     if batches >= min(policy.max_batches, max_split):
                         break  # cannot split further: fall down the ladder
                     batches = min(batches * 2, policy.max_batches, max_split)
+                    if obs.enabled:
+                        obs.log.emit(
+                            "oom_resplit",
+                            trace_id=trace_id,
+                            method=method,
+                            batches=batches,
+                            requested_bytes=exc.requested_bytes,
+                            budget_bytes=exc.budget_bytes,
+                        )
                 except TransientKernelError as exc:
                     last_error = exc
                     if retries >= policy.max_retries:
@@ -371,6 +387,12 @@ def _run_ladder(
 
     if obs.enabled:
         obs.metrics.inc("resilience_exhausted_total")
+        obs.log.emit(
+            "resilience_exhausted",
+            trace_id=trace_id,
+            attempts=report.num_attempts,
+            ladder=list(policy.ladder),
+        )
     raise ResilienceExhausted(
         f"all fallbacks failed after {report.num_attempts} attempts "
         f"(ladder: {' -> '.join(policy.ladder)})"
@@ -424,6 +446,15 @@ def _record_failure(
             method=method,
             batches=batches,
             backoff_s=backoff_s,
+        )
+        obs.log.emit(
+            "attempt_failed",
+            trace_id=getattr(obs.trace_ctx, "trace_id", None),
+            method=method,
+            batches=batches,
+            error=kind,
+            detail=str(exc),
+            backoff_s=backoff_s or None,
         )
         if backoff_s > 0:
             obs.metrics.inc("resilience_retries_total", method=method)

@@ -13,8 +13,12 @@ Two subcommands drive the serving tier from the command line:
     fail-fast shed mode.  The honest overload experiment.
 
 Both print a one-line summary (or ``--json`` a full document), can dump
-the Prometheus snapshot (``--metrics``) and the Chrome trace
-(``--trace``), and exit with the code of the *worst* outcome any request
+the Prometheus snapshot (``--metrics``), the Chrome trace (``--trace``)
+and the structured JSON-lines event log (``--log``), can expose the
+*live* registry over HTTP while the run is in flight (``--listen
+HOST:PORT`` serves ``/metrics``, ``/healthz`` and ``/varz``; add
+``--linger SECONDS`` to keep the endpoint scrapeable after the last
+response), and exit with the code of the *worst* outcome any request
 terminated with, per the repo-wide contract of :mod:`repro.errors`:
 
 ====  ==================================================
@@ -41,10 +45,12 @@ from repro.errors import (
     EXIT_DEADLINE,
     EXIT_SHED,
     InvalidInputError,
+    ReproError,
     ResilienceExhausted,
     exit_code_for,
 )
-from repro.obs import MetricsRegistry, Tracer, obs_context
+from repro.obs import EventLog, MetricsRegistry, SLOPolicy, Tracer, obs_context
+from repro.obs.http import TelemetryServer, parse_listen
 from repro.serve.loadgen import make_workload, run_closed_loop, run_open_loop
 from repro.serve.request import (
     OUTCOME_DEADLINE,
@@ -88,7 +94,12 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     )
     p.add_argument(
         "--workers", type=int, default=2, metavar="N",
-        help="compute pool threads (default 2)",
+        help="compute pool size (default 2)",
+    )
+    p.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="compute pool kind (default thread); 'process' runs shards "
+        "in worker processes with full trace propagation",
     )
     p.add_argument(
         "--max-inflight", type=int, default=None, metavar="N",
@@ -122,7 +133,31 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     )
     p.add_argument(
         "--trace", default=None, metavar="OUT.json",
-        help="write a Chrome trace with one span per request",
+        help="write a merged Chrome trace: request spans plus the "
+        "worker-recorded shard spans, linked by trace id",
+    )
+    p.add_argument(
+        "--log", default=None, metavar="OUT.jsonl",
+        help="stream the structured JSON-lines event log here (crash-safe "
+        "append; replayable into the outcome tally)",
+    )
+    p.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="serve live /metrics, /healthz and /varz over HTTP while "
+        "the run is in flight (port 0 picks an ephemeral port)",
+    )
+    p.add_argument(
+        "--linger", type=float, default=0.0, metavar="SECONDS",
+        help="keep the --listen endpoint up this long after the run "
+        "(default 0: stop immediately)",
+    )
+    p.add_argument(
+        "--slo-target", type=float, default=0.5, metavar="SECONDS",
+        help="per-tenant SLO latency target (default 0.5)",
+    )
+    p.add_argument(
+        "--slo-objective", type=float, default=0.95, metavar="FRAC",
+        help="per-tenant SLO objective fraction (default 0.95)",
     )
     p.add_argument(
         "--json", action="store_true",
@@ -168,7 +203,7 @@ def _exit_code(report) -> int:
     return 0
 
 
-async def _drive(args) -> "LoadReport":
+async def _drive(args, holder: dict) -> "LoadReport":
     workload = make_workload(
         args.requests,
         n=args.n,
@@ -178,13 +213,18 @@ async def _drive(args) -> "LoadReport":
     service = SpGEMMService(
         max_queue_depth=args.queue_depth,
         workers=args.workers,
+        executor=args.executor,
         max_inflight=args.max_inflight,
         initial_shards=args.initial_shards,
         admission_budget_bytes=args.admission_budget,
         default_deadline_s=args.deadline,
         default_budget_bytes=args.request_budget,
+        slo_policy=SLOPolicy(
+            latency_target_s=args.slo_target, objective=args.slo_objective
+        ),
         backend=args.backend,
     )
+    holder["service"] = service  # the --listen endpoint's /varz source
     async with service:
         if args.command == "run":
             return await run_closed_loop(
@@ -200,29 +240,72 @@ async def _drive(args) -> "LoadReport":
 
 def serve_main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``serve`` subcommand family."""
+    import time as _time
+
     args = _build_parser().parse_args(argv)
     tracer = Tracer() if args.trace is not None else None
-    metrics = MetricsRegistry() if args.metrics is not None else None
+    # The live endpoint needs a registry even without a --metrics file.
+    metrics = (
+        MetricsRegistry()
+        if (args.metrics is not None or args.listen is not None)
+        else None
+    )
+    log = EventLog(path=args.log) if args.log is not None else None
+    holder: dict = {}
+    server = None
+    if args.listen is not None:
+        try:
+            host, port = parse_listen(args.listen)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return exit_code_for(InvalidInputError(str(exc)))
+        server = TelemetryServer(
+            metrics=metrics,
+            varz_fn=lambda: (
+                holder["service"].varz() if "service" in holder else {}
+            ),
+            host=host,
+            port=port,
+        )
+        bound_host, bound_port = server.start()
+        print(
+            f"telemetry: http://{bound_host}:{bound_port}/metrics "
+            "(/healthz, /varz)",
+            file=sys.stderr,
+        )
+    report = None
+    exc_code = None
     try:
-        if tracer is None and metrics is None:
-            report = asyncio.run(_drive(args))
-        else:
-            with obs_context(tracer=tracer, metrics=metrics):
-                report = asyncio.run(_drive(args))
-    except InvalidInputError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return exit_code_for(exc)
-    finally:
-        if tracer is not None and args.trace is not None:
-            tracer.write(args.trace)
-        if metrics is not None and args.metrics is not None:
-            metrics.write(args.metrics)
+        try:
+            with obs_context(tracer=tracer, metrics=metrics, log=log):
+                report = asyncio.run(_drive(args, holder))
+        except ReproError as exc:
+            # Typed failures still leave artifacts behind (the finally
+            # below) — a failed run is when you want the trace most.
+            print(f"error: {exc}", file=sys.stderr)
+            exc_code = exit_code_for(exc)
+        finally:
+            if tracer is not None and args.trace is not None:
+                tracer.write(args.trace)
+            if metrics is not None and args.metrics is not None:
+                metrics.write(args.metrics)
+            if log is not None:
+                log.close()
 
-    if args.json:
-        doc = {"command": args.command, "report": report.to_dict()}
-        if metrics is not None:
-            doc["metrics"] = metrics.snapshot()
-        print(json.dumps(doc, indent=2))
-    else:
-        print(f"serve {args.command}: {report.summary()}")
-    return _exit_code(report)
+        if exc_code is not None:
+            return exc_code
+        if args.json:
+            doc = {"command": args.command, "report": report.to_dict()}
+            if metrics is not None:
+                doc["metrics"] = metrics.snapshot()
+            print(json.dumps(doc, indent=2))
+        else:
+            print(f"serve {args.command}: {report.summary()}")
+        if server is not None and args.linger > 0:
+            # Keep the endpoint scrapeable at its terminal state (CI
+            # scrapes the final counters through HTTP, not the file).
+            _time.sleep(args.linger)
+        return _exit_code(report)
+    finally:
+        if server is not None:
+            server.stop()

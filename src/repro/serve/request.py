@@ -89,6 +89,10 @@ class ServeRequest:
         Optional :class:`~repro.runtime.faults.FaultPlan` threaded into
         every shard of this request (isolation: other requests never see
         this plan's faults).
+    trace_id:
+        The propagated trace identity assigned at submission; every
+        span, worker-side shard span and structured-log event of this
+        request carries it.
     submitted_s:
         Service-clock timestamp of admission.
     done:
@@ -109,6 +113,7 @@ class ServeRequest:
     deadline_s: Optional[float] = None
     budget_bytes: Optional[int] = None
     fault_plan: Optional[object] = None
+    trace_id: str = ""
     submitted_s: float = 0.0
     done: Optional["asyncio.Future"] = field(default=None, repr=False)
     order_prev: Optional["asyncio.Future"] = field(default=None, repr=False)
@@ -135,6 +140,7 @@ class ServeResponse:
     outcome: str
     c: Optional[object] = None
     error: Optional[BaseException] = None
+    trace_id: str = ""
     latency_s: float = 0.0
     queue_s: float = 0.0
     shards_run: int = 0

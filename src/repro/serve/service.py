@@ -62,6 +62,8 @@ from repro.errors import (
     TransientKernelError,
 )
 from repro.obs.context import current_obs
+from repro.obs.propagate import TraceContext, absorb_telemetry, new_trace_id
+from repro.obs.slo import SLOPolicy, SLOTracker
 from repro.runtime.chunked import batch_bounds, slice_tile_rows, stitch_results
 from repro.runtime.policy import ParallelPolicy, RetryPolicy, backoff_wait
 from repro.runtime.tilecache import get_tile_cache
@@ -135,6 +137,20 @@ class SpGEMMService:
         Broken pools replaced per request before giving up.
     max_inflight:
         Requests executing concurrently (default: ``workers``).
+    executor:
+        ``"thread"`` (default) or ``"process"`` — the kind of compute
+        pool the :class:`~repro.serve.worker.WorkerBridge` owns.  With
+        ``"process"``, shard spans are still recorded where the work ran
+        and shipped back (see :mod:`repro.obs.propagate`); ``run_fn``
+        must then be a module-level (picklable) function.
+    mp_context:
+        Optional :mod:`multiprocessing` context for the process pool
+        (e.g. ``get_context("spawn")``).
+    slo_policy:
+        A :class:`~repro.obs.slo.SLOPolicy`; every terminal response
+        updates the tenant's ``slo_attainment`` and
+        ``slo_error_budget_burn_rate`` gauges (defaults apply when
+        ``None``).
     backend:
         Kernel-backend spec resolved once to a registry name and
         forwarded to every shard.
@@ -163,6 +179,9 @@ class SpGEMMService:
         parallel_policy: Optional[ParallelPolicy] = None,
         max_pool_replacements: int = 1,
         max_inflight: Optional[int] = None,
+        executor: str = "thread",
+        mp_context=None,
+        slo_policy: Optional[SLOPolicy] = None,
         backend=None,
         sleep=None,
         clock=time.monotonic,
@@ -181,7 +200,9 @@ class SpGEMMService:
             max_queue_depth, admission_budget_bytes, admission_headroom
         )
         self._queue = BoundedRequestQueue(max_queue_depth)
-        self._bridge = WorkerBridge(workers=workers, run_fn=run_fn)
+        self._bridge = WorkerBridge(
+            workers=workers, run_fn=run_fn, executor=executor, mp_context=mp_context
+        )
         self._retry = retry_policy or RetryPolicy()
         self._parallel = parallel_policy or ParallelPolicy()
         self._max_pool_replacements = int(max_pool_replacements)
@@ -193,6 +214,7 @@ class SpGEMMService:
         self._clock = clock
         self._cache = get_tile_cache()
         self._obs = current_obs()
+        self.slo = SLOTracker(slo_policy or SLOPolicy(), metrics=self._obs.metrics)
 
         self._max_inflight = int(max_inflight or workers)
         self._running = False
@@ -320,10 +342,19 @@ class SpGEMMService:
                 else self._default_budget_bytes
             ),
             fault_plan=fault_plan,
+            trace_id=new_trace_id("req"),
             submitted_s=self._clock(),
         )
         metrics = self._obs.metrics
         metrics.inc("serve_requests_total", tenant=tenant)
+        self._obs.log.emit(
+            "request_submitted",
+            trace_id=req.trace_id,
+            tenant=tenant,
+            seq=seq,
+            deadline_s=req.deadline_s,
+            budget_bytes=req.budget_bytes,
+        )
 
         # Admission gate 1: the memory estimate.  Waiting cannot shrink
         # an oversized request, so this sheds in either backpressure mode.
@@ -385,6 +416,13 @@ class SpGEMMService:
         start = self._clock()
         self._note_queue_depth(req.tenant)
         trace_t0 = time.perf_counter() - self._epoch
+        self._obs.log.emit(
+            "request_dequeued",
+            trace_id=req.trace_id,
+            tenant=req.tenant,
+            seq=req.seq,
+            queue_s=start - req.submitted_s,
+        )
         stats = _ExecStats()
         deadline = Deadline(req.deadline_s, clock=self._clock)
         # The deadline clock started at submission, not at dequeue.
@@ -415,6 +453,7 @@ class SpGEMMService:
             outcome=outcome,
             c=c,
             error=error,
+            trace_id=req.trace_id,
             latency_s=now - req.submitted_s,
             queue_s=start - req.submitted_s,
             shards_run=stats.shards_run,
@@ -460,6 +499,16 @@ class SpGEMMService:
         results: Dict[int, object] = {}
         running: Dict[asyncio.Future, Tuple[int, int, int]] = {}
         metrics = self._obs.metrics
+        log = self._obs.log
+        # Shards travel with the request's trace identity; the worker
+        # records real spans locally and ships them back with the result
+        # (None when tracing is off — the bridge then skips the harness).
+        trace_live = bool(getattr(self._obs.tracer, "enabled", False))
+        shard_ctx = (
+            TraceContext(req.trace_id, parent_span_id=f"req:{req.trace_id}")
+            if trace_live
+            else None
+        )
 
         try:
             while ranges or running:
@@ -471,7 +520,7 @@ class SpGEMMService:
                     r0, r1, retries = ranges.popleft()
                     shard = slice_tile_rows(a, r0, r1) if n > 0 else a
                     fut = asyncio.ensure_future(
-                        self._bridge.run(shard, b, opts, token)
+                        self._bridge.run(shard, b, opts, token, shard_ctx)
                     )
                     running[fut] = (r0, r1, retries)
                 done, _ = await asyncio.wait(
@@ -482,8 +531,20 @@ class SpGEMMService:
                 for fut in done:
                     r0, r1, retries = running.pop(fut)
                     try:
-                        results[r0] = fut.result()
+                        res, telemetry = fut.result()
+                        results[r0] = res
                         stats.shards_run += 1
+                        # Worker spans join the request's timeline (epoch
+                        # = the service's trace zero) and worker counters
+                        # accumulate into the live registry — the service
+                        # never re-records merged stats itself.
+                        absorb_telemetry(
+                            self._obs.tracer,
+                            telemetry,
+                            epoch_s=self._epoch,
+                            metrics=metrics if telemetry else None,
+                            pid="serve.workers",
+                        )
                     except ShardCancelled:
                         pass  # lost the race with a cancellation below
                     except DeviceOOMError as exc:
@@ -501,6 +562,15 @@ class SpGEMMService:
                         ranges.append((int(sub[1]), int(sub[2]), 0))
                         stats.resplits += 1
                         metrics.inc("serve_resplits_total", tenant=req.tenant)
+                        log.emit(
+                            "shard_oom_resplit",
+                            trace_id=req.trace_id,
+                            tenant=req.tenant,
+                            seq=req.seq,
+                            tile_rows=[r0, r1],
+                            requested_bytes=exc.requested_bytes,
+                            budget_bytes=exc.budget_bytes,
+                        )
                     except TransientKernelError as exc:
                         if retries >= self._retry.max_retries:
                             raise ResilienceExhausted(
@@ -510,6 +580,16 @@ class SpGEMMService:
                         wait = backoff_wait(self._retry, retries)
                         stats.retries += 1
                         metrics.inc("serve_retries_total", tenant=req.tenant)
+                        log.emit(
+                            "shard_retry",
+                            trace_id=req.trace_id,
+                            tenant=req.tenant,
+                            seq=req.seq,
+                            tile_rows=[r0, r1],
+                            retry=retries + 1,
+                            backoff_s=wait,
+                            error=type(exc).__name__,
+                        )
                         await self._sleep(wait)  # awaited, never blocking
                         ranges.append((r0, r1, retries + 1))
                     except BrokenExecutor as exc:
@@ -525,6 +605,14 @@ class SpGEMMService:
                         self._bridge.replace_pool()
                         stats.pool_replacements += 1
                         metrics.inc("serve_pool_replacements_total")
+                        log.emit(
+                            "pool_replaced",
+                            trace_id=req.trace_id,
+                            tenant=req.tenant,
+                            seq=req.seq,
+                            tile_rows=[r0, r1],
+                            replacement=stats.pool_replacements,
+                        )
                         ranges.append((r0, r1, retries))
         except BaseException:
             # Stop shards still queued on the pool, then collect every
@@ -551,11 +639,20 @@ class SpGEMMService:
             seq=req.seq,
             outcome=OUTCOME_SHED,
             error=exc,
+            trace_id=req.trace_id,
             latency_s=now - req.submitted_s,
             queue_s=now - req.submitted_s if queued else 0.0,
         )
         self._obs.metrics.inc(
             "serve_shed_total", tenant=req.tenant, reason=exc.reason
+        )
+        self._obs.log.emit(
+            "request_shed",
+            trace_id=req.trace_id,
+            tenant=req.tenant,
+            seq=req.seq,
+            reason=exc.reason,
+            queued=queued,
         )
         self._record_response(resp, time.perf_counter() - self._epoch)
         if req.done is not None and not req.done.done():
@@ -575,6 +672,20 @@ class SpGEMMService:
             buckets=LATENCY_BUCKETS,
             tenant=resp.tenant,
         )
+        self.slo.record(resp.tenant, resp.latency_s, resp.ok)
+        self._obs.log.emit(
+            "request_done",
+            trace_id=resp.trace_id,
+            tenant=resp.tenant,
+            seq=resp.seq,
+            outcome=resp.outcome,
+            latency_s=resp.latency_s,
+            queue_s=resp.queue_s,
+            shards_run=resp.shards_run,
+            resplits=resp.resplits,
+            retries=resp.retries,
+            error=type(resp.error).__name__ if resp.error else None,
+        )
         if self._obs.enabled:
             self._obs.tracer.add_complete(
                 f"request {resp.tenant}#{resp.seq}",
@@ -588,6 +699,9 @@ class SpGEMMService:
                 shards=resp.shards_run,
                 resplits=resp.resplits,
                 retries=resp.retries,
+                trace_id=resp.trace_id,
+                span_id=f"req:{resp.trace_id}",
+                parent_span_id="",
             )
 
     def _note_queue_depth(self, tenant: str) -> None:
@@ -640,3 +754,40 @@ class SpGEMMService:
     @property
     def running(self) -> bool:
         return self._running
+
+    def varz(self) -> Dict[str, object]:
+        """A JSON-able live status snapshot (the ``/varz`` endpoint body).
+
+        Everything an operator glances at first: lifecycle flags, queue
+        state, in-flight count, per-tenant request/outcome counters and
+        the SLO report.  Values come straight from the live registry, so
+        a mid-run snapshot accounts for every submission so far.
+        """
+        metrics = self._obs.metrics
+        outcomes: Dict[str, Dict[str, float]] = {}
+        for labels, value in metrics.counter_samples("serve_outcomes_total"):
+            tenant = labels.get("tenant", "")
+            outcomes.setdefault(tenant, {})[labels.get("outcome", "")] = value
+        requests = {
+            labels.get("tenant", ""): value
+            for labels, value in metrics.counter_samples("serve_requests_total")
+        }
+        return {
+            "running": self._running,
+            "accepting": self._accepting,
+            "uptime_s": (
+                time.perf_counter() - self._epoch if self._running else 0.0
+            ),
+            "workers": self._bridge.workers,
+            "executor": self._bridge.executor,
+            "pool_replacements": self._bridge.pool_replacements,
+            "queue": {
+                "depth": self._queue.depth,
+                "bound": self._queue.bound,
+                "high_water": self._queue.high_water,
+            },
+            "inflight": len(self._inflight),
+            "requests_total": requests,
+            "outcomes_total": outcomes,
+            "slo": self.slo.report(),
+        }

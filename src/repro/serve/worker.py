@@ -1,18 +1,32 @@
-"""The worker bridge: shard multiplies on a thread pool, awaited from asyncio.
+"""The worker bridge: shard multiplies on a pool, awaited from asyncio.
 
 The event loop must never run a multiply — a single symbolic phase would
 stall every queue, deadline and admission decision in the process.  The
-bridge owns a :class:`~concurrent.futures.ThreadPoolExecutor` and turns
-each shard into an awaitable: the loop schedules shards, the pool
-computes them, NumPy releases the GIL for the bulk of the work.  Thread
-pool (not process) is deliberate: shards share the resident ``B``
-operand by reference, which is the serving story — many requests over
-one resident operand set.
+bridge owns a :mod:`concurrent.futures` pool and turns each shard into
+an awaitable: the loop schedules shards, the pool computes them.
 
-Pool workers run with empty ambient context stacks (both the execution
-and observability contexts are thread-local), so a request's budget and
-fault plan reach its shards only as the explicit ``opts`` the service
-forwards — one tenant's fault plan can never leak into another's shard.
+**Executors.**  ``executor="thread"`` (default) shares the resident
+``B`` operand by reference and lets NumPy release the GIL — the serving
+story of many requests over one resident operand set.
+``executor="process"`` runs each shard in a separate OS process (the
+modelled analogue of per-GPU worker processes): operands ship by pickle
+per call, the injected ``run_fn`` must be a module-level function, and a
+worker killed mid-shard surfaces as
+:class:`~concurrent.futures.process.BrokenProcessPool` (a
+:class:`BrokenExecutor`), which the service's pool-replacement path
+already handles.
+
+**Trace propagation.**  Every ``run`` call may carry a
+:class:`~repro.obs.propagate.TraceContext`; the shard body then runs
+under :func:`~repro.obs.propagate.run_with_worker_obs`, which records
+worker-side spans into a pool-local tracer and ships them back with the
+result as a picklable :class:`~repro.obs.propagate.WorkerTelemetry` —
+``run`` resolves to ``(result, telemetry)`` and the service merges the
+telemetry onto the request's timeline.  Pool workers run with empty
+ambient context stacks (both the execution and observability contexts
+are thread-local), so a request's budget and fault plan reach its shards
+only as the explicit ``opts`` the service forwards — one tenant's fault
+plan can never leak into another's shard.
 
 **Worker death.**  A shard callable that raises
 :class:`~concurrent.futures.BrokenExecutor` (or a pool broken outright)
@@ -28,10 +42,13 @@ then heal) without touching the engine.
 from __future__ import annotations
 
 import threading
-from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from functools import partial
 from typing import Callable, Dict, Optional
 
 from repro.core.tile_matrix import TileMatrix
+from repro.errors import InvalidInputError
+from repro.obs.propagate import TraceContext, run_with_worker_obs
 from repro.serve.deadline import CancelToken
 
 __all__ = ["WorkerBridge", "default_run_shard", "BrokenExecutor"]
@@ -49,8 +66,15 @@ def default_run_shard(a_shard: TileMatrix, b: TileMatrix, opts: Dict[str, object
     return res
 
 
+def _traced_call(run_fn, a_shard, b, opts, ctx: Optional[TraceContext]):
+    """Pool-side shard body (module-level so the process pool can pickle
+    it).  Always returns ``(result, telemetry)``; telemetry is ``None``
+    for an untraced call."""
+    return run_with_worker_obs(ctx, run_fn, a_shard, b, opts)
+
+
 class WorkerBridge:
-    """Owns the compute pool and the loop→thread handoff.
+    """Owns the compute pool and the loop→pool handoff.
 
     Parameters
     ----------
@@ -59,22 +83,41 @@ class WorkerBridge:
     run_fn:
         Shard body ``(a_shard, b, opts) -> TileSpGEMMResult``; defaults
         to :func:`default_run_shard`.  Tests inject faulty bodies here.
+        Must be a module-level (picklable) function on the process pool.
+    executor:
+        ``"thread"`` (default) or ``"process"``.
+    mp_context:
+        Optional :mod:`multiprocessing` context for the process pool
+        (e.g. ``get_context("spawn")``); ``None`` uses the platform
+        default.
     """
 
     def __init__(
         self,
         workers: int = 2,
         run_fn: Optional[Callable] = None,
+        executor: str = "thread",
+        mp_context=None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if executor not in ("thread", "process"):
+            raise InvalidInputError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
         self.workers = int(workers)
+        self.executor = executor
         self._run_fn = run_fn or default_run_shard
+        self._mp_context = mp_context
         self._lock = threading.Lock()
         self._pool = self._make_pool()
         self.pool_replacements = 0
 
-    def _make_pool(self) -> ThreadPoolExecutor:
+    def _make_pool(self):
+        if self.executor == "process":
+            return ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=self._mp_context
+            )
         return ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="repro-serve"
         )
@@ -85,24 +128,42 @@ class WorkerBridge:
         b: TileMatrix,
         opts: Dict[str, object],
         token: Optional[CancelToken] = None,
+        trace_ctx: Optional[TraceContext] = None,
     ):
-        """Await one shard.  Raises whatever the shard body raises —
-        :class:`~repro.errors.DeviceOOMError`,
+        """Await one shard; resolves to ``(result, telemetry)``.
+
+        ``telemetry`` is the worker-recorded
+        :class:`~repro.obs.propagate.WorkerTelemetry` when ``trace_ctx``
+        was given, else ``None``.  Raises whatever the shard body raises
+        — :class:`~repro.errors.DeviceOOMError`,
         :class:`~repro.errors.TransientKernelError`,
         :class:`~concurrent.futures.BrokenExecutor`,
         :class:`~repro.serve.deadline.ShardCancelled` — for the service's
-        recovery loop to sort out."""
+        recovery loop to sort out.
+        """
         import asyncio
-
-        def _call():
-            if token is not None:
-                token.raise_if_set()
-            return self._run_fn(a_shard, b, opts)
 
         loop = asyncio.get_running_loop()
         with self._lock:
             pool = self._pool
-        return await loop.run_in_executor(pool, _call)
+        if self.executor == "process":
+            # The token wraps a threading.Event and cannot cross the
+            # process boundary; honour it here, before the submit — a
+            # shard already running in another process finishes anyway
+            # (cooperative cancellation, same as a busy thread worker).
+            if token is not None:
+                token.raise_if_set()
+            call = partial(
+                _traced_call, self._run_fn, a_shard, b, opts, trace_ctx
+            )
+        else:
+
+            def call():
+                if token is not None:
+                    token.raise_if_set()
+                return _traced_call(self._run_fn, a_shard, b, opts, trace_ctx)
+
+        return await loop.run_in_executor(pool, call)
 
     def replace_pool(self) -> None:
         """Abandon the (presumed broken) pool and start a fresh one."""

@@ -1,0 +1,277 @@
+"""End-to-end serving telemetry: the acceptance scenario of the layer.
+
+A chaos-flavoured serve run on a 2-worker **process** pool must yield:
+
+* one merged Chrome trace whose worker-recorded shard spans carry the
+  request trace ids and whose parent links all resolve;
+* a live mid-run ``/metrics`` scrape whose ``serve_outcomes_total``
+  accounts for 100 % of submissions once the run drains;
+* a JSON-lines event log that replays into exactly the same outcome
+  tally the metrics counters report;
+* per-tenant SLO gauges derived from the same traffic;
+* a ``/varz`` document consistent with all of the above.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    EventLog,
+    MetricsRegistry,
+    Tracer,
+    load_events,
+    obs_context,
+    replay_outcomes,
+    SLOPolicy,
+)
+from repro.obs.http import TelemetryServer
+from repro.runtime.faults import FaultPlan
+from repro.serve import SpGEMMService
+from tests.conftest import random_csr
+
+REQUESTS = 6
+TENANTS = 2
+
+
+def _operands(seed):
+    a = random_csr(96, 96, 0.06, seed=seed)
+    b = random_csr(96, 96, 0.06, seed=seed + 100)
+    return a, b
+
+
+async def _chaos_burst(service, *, mid_run=None):
+    """Submit REQUESTS multiplies, one carrying an injected OOM."""
+    tasks = []
+    for i in range(REQUESTS):
+        a, b = _operands(seed=40 + i)
+        plan = FaultPlan(seed=i).oom_at_alloc(at=1) if i == 2 else None
+        tasks.append(
+            asyncio.ensure_future(
+                service.submit(
+                    a, b,
+                    tenant=f"tenant{i % TENANTS}",
+                    fault_plan=plan,
+                    backpressure="wait",
+                )
+            )
+        )
+    if mid_run is not None:
+        await mid_run()
+    return await asyncio.gather(*tasks)
+
+
+def _scrape(url):
+    with urllib.request.urlopen(url, timeout=5.0) as resp:
+        return resp.read().decode()
+
+
+@pytest.fixture(scope="module")
+def chaos_run(tmp_path_factory):
+    """One process-pool chaos run; every test inspects its artifacts."""
+    tmp = tmp_path_factory.mktemp("serve-telemetry")
+    log_path = tmp / "events.jsonl"
+    tracer, metrics = Tracer(), MetricsRegistry()
+    log = EventLog(path=log_path)
+    scrapes = {}
+
+    with TelemetryServer(metrics=metrics) as server:
+        url = server.url
+
+        async def drive():
+            service = SpGEMMService(
+                workers=2,
+                executor="process",
+                max_queue_depth=16,
+                slo_policy=SLOPolicy(latency_target_s=0.5, objective=0.9),
+            )
+
+            async def mid_run():
+                # Let the submissions land, then scrape while requests
+                # are genuinely in flight.
+                await asyncio.sleep(0.05)
+                scrapes["mid"] = await asyncio.get_running_loop().run_in_executor(
+                    None, _scrape, url + "/metrics"
+                )
+
+            async with service:
+                responses = await _chaos_burst(service, mid_run=mid_run)
+                varz = service.varz()
+            return responses, varz
+
+        with obs_context(tracer=tracer, metrics=metrics, log=log):
+            responses, varz = asyncio.run(drive())
+        scrapes["final"] = _scrape(url + "/metrics")
+    log.close()
+    return {
+        "responses": responses,
+        "varz": varz,
+        "tracer": tracer,
+        "metrics": metrics,
+        "log_path": log_path,
+        "scrapes": scrapes,
+    }
+
+
+def _counter_total(metrics, name):
+    return sum(v for _, v in metrics.counter_samples(name))
+
+
+class TestMergedTrace:
+    def test_every_request_has_a_trace_id_and_span(self, chaos_run):
+        responses = chaos_run["responses"]
+        assert len(responses) == REQUESTS
+        trace_ids = {r.trace_id for r in responses}
+        assert len(trace_ids) == REQUESTS and "" not in trace_ids
+        tracer = chaos_run["tracer"]
+        request_spans = [
+            sp for sp in tracer.spans if sp.cat == "serve.request"
+        ]
+        assert {sp.args["trace_id"] for sp in request_spans} == trace_ids
+
+    def test_worker_spans_carry_request_trace_ids(self, chaos_run):
+        tracer = chaos_run["tracer"]
+        worker_spans = [sp for sp in tracer.spans if sp.pid == "serve.workers"]
+        assert worker_spans, "process workers shipped spans back"
+        request_ids = {r.trace_id for r in chaos_run["responses"]}
+        assert {sp.args["trace_id"] for sp in worker_spans} <= request_ids
+        # Real subprocess tracks.
+        assert all(
+            sp.tid.startswith("worker-pid-") for sp in worker_spans
+        )
+
+    def test_all_parent_links_resolve(self, chaos_run):
+        tracer = chaos_run["tracer"]
+        known = {
+            sp.args["span_id"] for sp in tracer.spans if "span_id" in sp.args
+        }
+        dangling = [
+            sp.args["parent_span_id"]
+            for sp in tracer.spans
+            if sp.args.get("parent_span_id")
+            and sp.args["parent_span_id"] not in known
+        ]
+        assert dangling == []
+
+    def test_trace_file_is_valid_and_merged(self, chaos_run, tmp_path):
+        from repro.analysis.profiling import validate_chrome_trace
+
+        path = tmp_path / "trace.json"
+        chaos_run["tracer"].write(path)
+        doc = json.loads(path.read_text())
+        validate_chrome_trace(doc)
+        pids = {
+            e["pid"] for e in doc["traceEvents"] if e.get("ph") == "X"
+        }
+        assert "serve.workers" in pids and "serve" in pids
+
+
+class TestLiveScrape:
+    def test_final_scrape_accounts_for_all_submissions(self, chaos_run):
+        from repro.analysis.slo import parse_prometheus_text
+
+        samples = parse_prometheus_text(chaos_run["scrapes"]["final"])
+        submitted = sum(
+            v for n, _, v in samples if n == "serve_requests_total"
+        )
+        outcomes = sum(
+            v for n, _, v in samples if n == "serve_outcomes_total"
+        )
+        assert submitted == REQUESTS
+        assert outcomes == REQUESTS
+
+    def test_mid_run_scrape_saw_the_burst(self, chaos_run):
+        from repro.analysis.slo import parse_prometheus_text
+
+        samples = parse_prometheus_text(chaos_run["scrapes"]["mid"])
+        submitted = sum(
+            v for n, _, v in samples if n == "serve_requests_total"
+        )
+        outcomes = sum(
+            v for n, _, v in samples if n == "serve_outcomes_total"
+        )
+        # The scrape raced the burst: whatever it saw must be internally
+        # consistent (outcomes never outrun submissions) — partial counts
+        # are the point of a *live* endpoint.
+        assert 0 <= outcomes <= submitted <= REQUESTS
+
+
+class TestEventLogReplay:
+    def test_log_replays_into_the_counter_tally(self, chaos_run):
+        events = load_events(chaos_run["log_path"])
+        tally = replay_outcomes(events)
+        counters = {
+            (lk["tenant"], lk["outcome"]): int(v)
+            for lk, v in chaos_run["metrics"].counter_samples(
+                "serve_outcomes_total"
+            )
+        }
+        assert tally == counters
+
+    def test_lifecycle_events_are_correlated_by_trace_id(self, chaos_run):
+        events = load_events(chaos_run["log_path"])
+        by_kind = {}
+        for ev in events:
+            by_kind.setdefault(ev["event"], []).append(ev)
+        request_ids = {r.trace_id for r in chaos_run["responses"]}
+        assert {
+            e["trace_id"] for e in by_kind["request_submitted"]
+        } == request_ids
+        assert {e["trace_id"] for e in by_kind["request_done"]} == request_ids
+        # The injected OOM left its re-split marker, tied to its request.
+        assert by_kind["shard_oom_resplit"][0]["trace_id"] in request_ids
+
+    def test_timestamps_are_monotone_per_request(self, chaos_run):
+        events = load_events(chaos_run["log_path"])
+        per_trace = {}
+        for ev in events:
+            if "trace_id" in ev:
+                per_trace.setdefault(ev["trace_id"], []).append(ev["ts"])
+        for times in per_trace.values():
+            assert times == sorted(times)
+
+
+class TestSLOAndVarz:
+    def test_slo_gauges_per_tenant(self, chaos_run):
+        gauges = {
+            lk["tenant"]: v
+            for lk, v in chaos_run["metrics"].gauge_samples("slo_attainment")
+        }
+        assert set(gauges) == {f"tenant{i}" for i in range(TENANTS)}
+        assert all(0.0 <= v <= 1.0 for v in gauges.values())
+        burns = list(
+            chaos_run["metrics"].gauge_samples("slo_error_budget_burn_rate")
+        )
+        assert len(burns) == TENANTS
+
+    def test_varz_document(self, chaos_run):
+        varz = chaos_run["varz"]
+        assert varz["workers"] == 2
+        assert varz["executor"] == "process"
+        assert sum(varz["requests_total"].values()) == REQUESTS
+        outcome_total = sum(
+            v
+            for per_tenant in varz["outcomes_total"].values()
+            for v in per_tenant.values()
+        )
+        assert outcome_total == REQUESTS
+        assert set(varz["slo"]) == {f"tenant{i}" for i in range(TENANTS)}
+        json.dumps(varz)  # native types end to end
+
+    def test_offline_report_agrees_with_live_gauges(self, chaos_run):
+        from repro.analysis.slo import slo_report_from_text
+
+        report = slo_report_from_text(
+            chaos_run["scrapes"]["final"],
+            latency_target_s=0.5,
+            objective=0.9,
+        )
+        live = chaos_run["varz"]["slo"]
+        for tenant, row in report.items():
+            assert row["attainment"] == pytest.approx(
+                live[tenant]["attainment"]
+            )
