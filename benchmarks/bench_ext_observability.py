@@ -3,10 +3,11 @@
 Two claims from ``docs/OBSERVABILITY.md``:
 
 1. **On** — running the tiled pipeline inside an ``obs_context`` with a
-   live ``Tracer`` and ``MetricsRegistry`` stays within 5 % of the
-   disabled-observability run.  Instrumentation is O(pipeline phases),
-   not O(nnz): a handful of span context managers and counter updates per
-   run, regardless of matrix size.
+   live ``Tracer``, ``MetricsRegistry`` **and ``WorkloadProfiler``**
+   stays within 5 % of the disabled-observability run.  Instrumentation
+   is O(pipeline phases) plus O(candidate tiles) NumPy reductions for
+   the profiler's band attribution — the same order as the metrics
+   recording — regardless of matrix size.
 
 2. **Off** — the default (disabled) path is the baseline itself: guarded
    call sites cost one ambient-context lookup plus a no-op method call.
@@ -37,7 +38,14 @@ from repro.analysis import format_table, geometric_mean
 from repro.bench.schema import make_series
 from repro.core import tile_spgemm
 from repro.matrices import representative_18
-from repro.obs import EventLog, MetricsRegistry, Tracer, make_obs, obs_context
+from repro.obs import (
+    EventLog,
+    MetricsRegistry,
+    Tracer,
+    WorkloadProfiler,
+    make_obs,
+    obs_context,
+)
 from repro.obs.http import TelemetryServer
 
 #: Traced-and-metered runs must stay within this of the disabled run.
@@ -72,11 +80,15 @@ def overhead_table():
             off.append(time.perf_counter() - t0)
 
             obs = make_obs()
-            with obs_context(tracer=obs.tracer, metrics=obs.metrics):
+            with obs_context(
+                tracer=obs.tracer, metrics=obs.metrics, profile=obs.profile
+            ):
                 t0 = time.perf_counter()
                 traced = tile_spgemm(a, a)
                 on.append(time.perf_counter() - t0)
             assert obs.tracer.find("step2"), "tracer saw the pipeline"
+            assert obs.profile.runs, "profiler saw the run"
+            assert obs.profile.bands, "profiler attributed tile-row bands"
 
             t0 = time.perf_counter()
             plain = tile_spgemm(a, a)
@@ -177,9 +189,10 @@ def _serve_burst(telemetry: bool, log_path=None) -> float:
 
     tracer, metrics = Tracer(), MetricsRegistry()
     log = EventLog(path=log_path)
+    profiler = WorkloadProfiler()
     with TelemetryServer(metrics=metrics) as server:
         assert server.address[1] > 0  # endpoint live during the burst
-        with obs_context(tracer=tracer, metrics=metrics, log=log):
+        with obs_context(tracer=tracer, metrics=metrics, log=log, profile=profiler):
             t0 = time.perf_counter()
             report = asyncio.run(drive())
             elapsed = time.perf_counter() - t0
@@ -188,6 +201,7 @@ def _serve_burst(telemetry: bool, log_path=None) -> float:
     request_spans = [s for s in tracer.spans if s.name.startswith("request ")]
     assert len(request_spans) == SERVE_REQUESTS, "request spans recorded"
     assert metrics.counter_samples("serve_requests_total"), "counters live"
+    assert profiler.runs, "worker profiles absorbed across the pool"
     return elapsed
 
 

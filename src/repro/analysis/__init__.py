@@ -9,11 +9,23 @@ from repro.analysis.breakdown import (
 from repro.analysis.bench_compare import (
     ComparisonReport,
     SeriesDelta,
+    attribute_regressions,
     bootstrap_median_ci,
     classify_samples,
     compare_documents,
     mann_whitney_u,
+    render_attribution,
     render_comparison,
+)
+from repro.analysis.calibration import (
+    CALIBRATION_SCHEMA,
+    calibrate_profile,
+    calibration_to_metrics,
+    check_calibration,
+    emit_calibration_counters,
+    load_calibration,
+    render_calibration,
+    write_calibration,
 )
 from repro.analysis.plotting import ascii_scatter
 from repro.analysis.profiling import (
@@ -36,7 +48,17 @@ from repro.analysis.slo import (
 
 __all__ = [
     "BUCKETS",
+    "CALIBRATION_SCHEMA",
     "ComparisonReport",
+    "attribute_regressions",
+    "render_attribution",
+    "calibrate_profile",
+    "calibration_to_metrics",
+    "check_calibration",
+    "emit_calibration_counters",
+    "load_calibration",
+    "render_calibration",
+    "write_calibration",
     "RegressionLine",
     "SeriesDelta",
     "aggregate_spans",

@@ -45,6 +45,8 @@ __all__ = [
     "classify_samples",
     "compare_documents",
     "render_comparison",
+    "attribute_regressions",
+    "render_attribution",
 ]
 
 #: Relative wall-clock change below which a delta is noise by definition.
@@ -316,6 +318,139 @@ def compare_documents(
         delta.matrix, delta.method, delta.op = c["matrix"], c["method"], c["op"]
         report.deltas.append(delta)
     return report
+
+
+def _per_run_phases(profile: Dict[str, Any]) -> Dict[str, float]:
+    """Phase seconds per recorded run (so shard/repeat counts divide out)."""
+    runs = max(int(profile.get("runs", 0)), 1)
+    return {
+        name: float(ph.get("seconds", 0.0)) / runs
+        for name, ph in profile.get("phases", {}).items()
+    }
+
+
+def _bands_by_id(profile: Dict[str, Any]) -> Dict[int, Dict[str, Any]]:
+    return {int(b.get("band", -1)): b for b in profile.get("bands", [])}
+
+
+def attribute_regressions(
+    report: ComparisonReport,
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+) -> List[Dict[str, Any]]:
+    """Blame each significant regression on a phase and a tile-row band.
+
+    Joins the ``repro.profile/1`` artifacts embedded in both documents'
+    series (``bench run`` embeds one per series).  Per regression:
+
+    * **phase** — the pipeline phase whose per-run seconds grew the most
+      between baseline and current (the *where did the time go* answer);
+    * **band** — the tile-row band whose intermediate-product count grew
+      the most; when the workload is unchanged (same input, same
+      algorithm decisions), the current run's heaviest band is reported
+      instead, flagged ``workload_changed: false``.
+
+    Series without embedded profiles on both sides are skipped — the
+    rendered report says so rather than guessing.
+    """
+    from repro.bench.schema import index_series
+
+    base_idx = index_series(baseline)
+    cur_idx = index_series(current)
+    attributions: List[Dict[str, Any]] = []
+    for delta in report.regressions:
+        base_prof = (base_idx.get(delta.key) or {}).get("profile")
+        cur_prof = (cur_idx.get(delta.key) or {}).get("profile")
+        if not base_prof or not cur_prof:
+            attributions.append({"key": delta.key, "profiled": False})
+            continue
+        entry: Dict[str, Any] = {"key": delta.key, "profiled": True}
+
+        base_phases = _per_run_phases(base_prof)
+        cur_phases = _per_run_phases(cur_prof)
+        phase_deltas = {
+            name: cur_phases.get(name, 0.0) - base_phases.get(name, 0.0)
+            for name in set(base_phases) | set(cur_phases)
+        }
+        if phase_deltas:
+            worst = max(phase_deltas, key=lambda k: phase_deltas[k])
+            grew = sum(v for v in phase_deltas.values() if v > 0)
+            entry["phase"] = {
+                "name": worst,
+                "base_s": base_phases.get(worst, 0.0),
+                "cur_s": cur_phases.get(worst, 0.0),
+                "delta_s": phase_deltas[worst],
+                "share_of_growth": (
+                    phase_deltas[worst] / grew if grew > 0 else 0.0
+                ),
+            }
+
+        base_bands = _bands_by_id(base_prof)
+        cur_bands = _bands_by_id(cur_prof)
+        band_deltas = {
+            band: int(cur_bands.get(band, {}).get("products", 0))
+            - int(base_bands.get(band, {}).get("products", 0))
+            for band in set(base_bands) | set(cur_bands)
+        }
+        changed = any(v != 0 for v in band_deltas.values())
+        entry["workload_changed"] = changed
+        pick = None
+        if changed:
+            pick = max(band_deltas, key=lambda k: band_deltas[k])
+        elif cur_bands:
+            pick = max(
+                cur_bands, key=lambda k: int(cur_bands[k].get("products", 0))
+            )
+        if pick is not None:
+            band = cur_bands.get(pick, base_bands.get(pick, {}))
+            entry["band"] = {
+                "band": pick,
+                "tile_rows": band.get("tile_rows", [0, 0]),
+                "base_products": int(base_bands.get(pick, {}).get("products", 0)),
+                "cur_products": int(cur_bands.get(pick, {}).get("products", 0)),
+                "delta_products": band_deltas.get(pick, 0),
+            }
+        attributions.append(entry)
+    return attributions
+
+
+def render_attribution(attributions: List[Dict[str, Any]]) -> str:
+    """Human-readable blame lines for ``bench compare --attribute``."""
+    if not attributions:
+        return "attribution: no significant regressions to attribute"
+    lines = ["attribution (phase and tile-row band per regression):"]
+    for entry in attributions:
+        if not entry.get("profiled"):
+            lines.append(
+                f"  {entry['key']}: no embedded profile on both sides — "
+                "re-run both benches with a profile-enabled runner"
+            )
+            continue
+        parts = []
+        phase = entry.get("phase")
+        if phase is not None:
+            parts.append(
+                f"phase {phase['name']} "
+                f"{phase['base_s'] * 1e3:.3f} -> {phase['cur_s'] * 1e3:.3f} ms/run "
+                f"({phase['delta_s'] * 1e3:+.3f}, "
+                f"{phase['share_of_growth']:.0%} of the growth)"
+            )
+        band = entry.get("band")
+        if band is not None:
+            r0, r1 = band.get("tile_rows", [0, 0])
+            if entry.get("workload_changed"):
+                parts.append(
+                    f"tile rows [{r0}, {r1}) products "
+                    f"{band['base_products']} -> {band['cur_products']} "
+                    f"({band['delta_products']:+d})"
+                )
+            else:
+                parts.append(
+                    f"workload unchanged; heaviest band tile rows "
+                    f"[{r0}, {r1}) ({band['cur_products']} products)"
+                )
+        lines.append(f"  {entry['key']}: " + "; ".join(parts))
+    return "\n".join(lines)
 
 
 def render_comparison(report: ComparisonReport, verbose: bool = False) -> str:

@@ -1,0 +1,350 @@
+"""Cost-model calibration: was the estimate right, and where was it wrong?
+
+The GPU execution model (:mod:`repro.gpu.costmodel`) prices every run it
+sees; the workload profiler (:mod:`repro.obs.profile`) deposits one
+**calibration sample** per estimate — the predicted per-kernel seconds
+joined with the run's *measured* phase seconds and its compression rate
+(``products / nnz(C)``).  This module turns those samples into the
+prediction-error report the OCEAN line of work argues an
+estimation-driven SpGEMM needs: per estimator family, per phase and per
+compression-rate band,
+
+* **signed bias** (``predicted − measured``; positive = the model
+  over-prices), and
+* **absolute error** (``Σ |predicted_i − measured_i|``, which unlike the
+  bias cannot cancel across samples).
+
+Measured times come from this CPU reproduction while predictions price a
+modelled GPU, so the absolute *scale* of the error is expected and
+uninteresting; what matters — and what :func:`check_calibration` gates —
+is **structure** (every family that ran produced joinable, finite
+samples) and **drift** (the error ratio moving against a baseline report
+beyond a tolerated factor, which is how a stale cost model shows up in
+CI after someone optimises a kernel).
+
+Exports: Prometheus gauges (:func:`calibration_to_metrics`), Perfetto
+counter tracks (:func:`emit_calibration_counters`), a rendered table
+(:func:`render_calibration`), all driven by ``repro obs calibrate``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Optional
+
+from repro.errors import CalibrationDriftError, InvalidInputError
+from repro.obs.native import to_native
+
+__all__ = [
+    "CALIBRATION_SCHEMA",
+    "COMPRESSION_BANDS",
+    "calibrate_profile",
+    "check_calibration",
+    "calibration_to_metrics",
+    "emit_calibration_counters",
+    "render_calibration",
+    "write_calibration",
+    "load_calibration",
+]
+
+#: Version tag of the calibration-report document.
+CALIBRATION_SCHEMA = "repro.calibration/1"
+
+#: Compression-rate (products / nnz(C)) band edges and labels.  The rate
+#: is >= 1 by construction; the paper's Figure 6 regime split motivates
+#: the doubling buckets — accumulator behaviour changes with how much
+#: the products compress.
+COMPRESSION_BANDS = (
+    (1.0, 2.0, "1-2"),
+    (2.0, 4.0, "2-4"),
+    (4.0, 8.0, "4-8"),
+    (8.0, math.inf, "8+"),
+)
+
+#: Default drift gate: the per-family error ratio may move by at most
+#: this factor against the baseline report before --check fails.
+DEFAULT_TOLERANCE = 4.0
+
+
+def compression_band(rate: float) -> str:
+    """The :data:`COMPRESSION_BANDS` label containing ``rate``."""
+    for lo, hi, label in COMPRESSION_BANDS:
+        if lo <= rate < hi:
+            return label
+    return COMPRESSION_BANDS[0][2] if rate < 1.0 else COMPRESSION_BANDS[-1][2]
+
+
+def _new_cell() -> Dict[str, float]:
+    return {
+        "samples": 0,
+        "predicted_s": 0.0,
+        "measured_s": 0.0,
+        "bias_s": 0.0,
+        "abs_error_s": 0.0,
+    }
+
+
+def _fold(cell: Dict[str, float], predicted: float, measured: float) -> None:
+    cell["samples"] += 1
+    cell["predicted_s"] += predicted
+    cell["measured_s"] += measured
+    cell["bias_s"] += predicted - measured
+    cell["abs_error_s"] += abs(predicted - measured)
+
+
+def _finish(cell: Dict[str, float]) -> Dict[str, float]:
+    measured = cell["measured_s"]
+    cell["ratio"] = cell["predicted_s"] / measured if measured > 0 else 0.0
+    return cell
+
+
+def calibrate_profile(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Build the prediction-error report from one profile artifact.
+
+    ``doc`` is a ``repro.profile/1`` document (or any dict with a
+    ``calibration`` sample list).  Per estimator family the report joins:
+
+    * **total** — the estimate's end-to-end seconds vs the run's
+      measured total;
+    * **phases** — each predicted kernel whose name matches a measured
+      phase (the TileSpGEMM estimator deliberately emits
+      ``step1``/``step2``/``step3``/``malloc`` to line up with
+      :class:`~repro.util.timing.PhaseTimer`; baseline estimators whose
+      kernel names have no measured counterpart simply contribute no
+      phase rows);
+    * **compression_bands** — totals stratified by the sample's
+      compression rate (:data:`COMPRESSION_BANDS`).
+
+    Samples whose prediction is OOM / non-finite are tallied under
+    ``skipped`` instead of polluting the error sums.
+    """
+    samples = doc.get("calibration")
+    if samples is None:
+        raise InvalidInputError(
+            "document has no 'calibration' samples — was the profile "
+            "recorded without any estimate_run call?"
+        )
+    families: Dict[str, Dict[str, Any]] = {}
+    skipped = 0
+    for sample in samples:
+        predicted = float(sample.get("predicted_s", -1.0))
+        measured = float(sample.get("measured_s", 0.0))
+        if sample.get("oom") or predicted < 0 or not math.isfinite(predicted):
+            skipped += 1
+            continue
+        family = str(sample.get("family", sample.get("method", "?")))
+        report = families.setdefault(
+            family,
+            {
+                "devices": set(),
+                "total": _new_cell(),
+                "phases": {},
+                "compression_bands": {},
+            },
+        )
+        report["devices"].add(str(sample.get("device", "?")))
+        _fold(report["total"], predicted, measured)
+        measured_phases = sample.get("measured_phases", {})
+        for phase, pred_s in sample.get("predicted_phases", {}).items():
+            if phase not in measured_phases:
+                continue
+            cell = report["phases"].setdefault(phase, _new_cell())
+            _fold(cell, float(pred_s), float(measured_phases[phase]))
+        rate = sample.get("compression")
+        if rate is not None and float(rate) > 0:
+            band = report["compression_bands"].setdefault(
+                compression_band(float(rate)), _new_cell()
+            )
+            _fold(band, predicted, measured)
+    for report in families.values():
+        report["devices"] = sorted(report["devices"])
+        _finish(report["total"])
+        for cell in report["phases"].values():
+            _finish(cell)
+        for cell in report["compression_bands"].values():
+            _finish(cell)
+    return to_native(
+        {
+            "schema": CALIBRATION_SCHEMA,
+            "samples": len(samples),
+            "skipped": skipped,
+            "families": {k: families[k] for k in sorted(families)},
+        }
+    )
+
+
+def check_calibration(
+    report: Dict[str, Any],
+    baseline: Optional[Dict[str, Any]] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[str]:
+    """Gate a calibration report; raises on structural breakage or drift.
+
+    Structural checks (always): the report joined at least one sample,
+    and every family's error sums are finite with positive measured
+    time.  Drift check (with ``baseline``): for each family present in
+    both reports, the prediction/measured ratio may move by at most a
+    factor of ``tolerance`` either way.
+
+    Returns the (empty) problem list on success; raises
+    :class:`~repro.errors.CalibrationDriftError` (CLI exit code 13)
+    otherwise.
+    """
+    if tolerance <= 1.0:
+        raise InvalidInputError(f"tolerance must be > 1.0, got {tolerance}")
+    problems: List[str] = []
+    families = report.get("families", {})
+    joined = int(report.get("samples", 0)) - int(report.get("skipped", 0))
+    if not families or joined <= 0:
+        problems.append("no joinable calibration samples in the profile")
+    for family, rep in families.items():
+        total = rep.get("total", {})
+        for key in ("predicted_s", "measured_s", "bias_s", "abs_error_s"):
+            value = total.get(key)
+            if value is None or not math.isfinite(float(value)):
+                problems.append(f"{family}: non-finite {key} ({value!r})")
+        if float(total.get("measured_s", 0.0)) <= 0.0:
+            problems.append(f"{family}: no measured time joined to predictions")
+    if baseline is not None:
+        base_families = baseline.get("families", {})
+        for family, rep in families.items():
+            base = base_families.get(family)
+            if base is None:
+                continue
+            ratio = float(rep.get("total", {}).get("ratio", 0.0))
+            base_ratio = float(base.get("total", {}).get("ratio", 0.0))
+            if ratio <= 0.0 or base_ratio <= 0.0:
+                continue
+            drift = ratio / base_ratio
+            if drift > tolerance or drift < 1.0 / tolerance:
+                problems.append(
+                    f"{family}: error ratio drifted {drift:.2f}x vs baseline "
+                    f"(now {ratio:.3g}, was {base_ratio:.3g}, "
+                    f"tolerance {tolerance:g}x)"
+                )
+    if problems:
+        raise CalibrationDriftError(problems)
+    return problems
+
+
+def calibration_to_metrics(report: Dict[str, Any], metrics) -> None:
+    """Export the report as Prometheus gauges on ``metrics``.
+
+    One gauge sample per family (labels ``family``, ``phase="total"``)
+    plus one per joined phase, so a scrape can alert on a single
+    estimator going stale without parsing artifacts.
+    """
+    for family, rep in report.get("families", {}).items():
+        cells = [("total", rep.get("total", {}))]
+        cells += list(rep.get("phases", {}).items())
+        for phase, cell in cells:
+            labels = {"family": family, "phase": phase}
+            metrics.set_gauge(
+                "costmodel_predicted_seconds", float(cell.get("predicted_s", 0.0)), **labels
+            )
+            metrics.set_gauge(
+                "costmodel_measured_seconds", float(cell.get("measured_s", 0.0)), **labels
+            )
+            metrics.set_gauge(
+                "costmodel_bias_seconds", float(cell.get("bias_s", 0.0)), **labels
+            )
+            metrics.set_gauge(
+                "costmodel_abs_error_seconds", float(cell.get("abs_error_s", 0.0)), **labels
+            )
+            metrics.set_gauge(
+                "costmodel_error_ratio", float(cell.get("ratio", 0.0)), **labels
+            )
+
+
+def emit_calibration_counters(report: Dict[str, Any], tracer) -> None:
+    """Emit the report onto Perfetto counter tracks via ``tracer``.
+
+    Chrome trace-event ``ph="C"`` samples — one counter track per
+    (family, quantity) — so a trace opened in https://ui.perfetto.dev
+    shows the prediction error alongside the spans it explains.
+    """
+    for family, rep in report.get("families", {}).items():
+        total = rep.get("total", {})
+        tracer.counter(
+            f"costmodel/{family}/bias_s",
+            float(total.get("bias_s", 0.0)),
+            cat="calibration",
+        )
+        tracer.counter(
+            f"costmodel/{family}/abs_error_s",
+            float(total.get("abs_error_s", 0.0)),
+            cat="calibration",
+        )
+        tracer.counter(
+            f"costmodel/{family}/error_ratio",
+            float(total.get("ratio", 0.0)),
+            cat="calibration",
+        )
+        for band, cell in sorted(rep.get("compression_bands", {}).items()):
+            tracer.counter(
+                f"costmodel/{family}/bias_s/compression_{band}",
+                float(cell.get("bias_s", 0.0)),
+                cat="calibration",
+            )
+
+
+def render_calibration(report: Dict[str, Any]) -> str:
+    """Human-readable prediction-error tables, one block per family."""
+    lines: List[str] = []
+    joined = int(report.get("samples", 0)) - int(report.get("skipped", 0))
+    lines.append(
+        f"cost-model calibration: {joined} joined samples "
+        f"({report.get('skipped', 0)} skipped) across "
+        f"{len(report.get('families', {}))} estimator families"
+    )
+    header = (
+        f"  {'':<18} {'n':>4} {'predicted s':>12} {'measured s':>12} "
+        f"{'bias s':>12} {'abs err s':>12} {'ratio':>10}"
+    )
+    for family, rep in report.get("families", {}).items():
+        devices = ", ".join(rep.get("devices", []))
+        lines.append("")
+        lines.append(f"family {family} (devices: {devices})")
+        lines.append(header)
+        rows = [("total", rep.get("total", {}))]
+        rows += [
+            (f"phase {p}", c) for p, c in sorted(rep.get("phases", {}).items())
+        ]
+        rows += [
+            (f"compress {b}", c)
+            for b, c in sorted(rep.get("compression_bands", {}).items())
+        ]
+        for label, cell in rows:
+            lines.append(
+                f"  {label:<18} {int(cell.get('samples', 0)):>4} "
+                f"{cell.get('predicted_s', 0.0):>12.6f} "
+                f"{cell.get('measured_s', 0.0):>12.6f} "
+                f"{cell.get('bias_s', 0.0):>+12.6f} "
+                f"{cell.get('abs_error_s', 0.0):>12.6f} "
+                f"{cell.get('ratio', 0.0):>10.3g}"
+            )
+    return "\n".join(lines)
+
+
+def write_calibration(report: Dict[str, Any], path) -> None:
+    """Write one calibration report as indented JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+
+def load_calibration(path) -> Dict[str, Any]:
+    """Read a calibration report written by :func:`write_calibration`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            report = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise InvalidInputError(
+                f"calibration report {path} is not valid JSON: {exc}"
+            ) from exc
+    if not isinstance(report, dict) or report.get("schema") != CALIBRATION_SCHEMA:
+        raise InvalidInputError(
+            f"calibration report {path} is not a {CALIBRATION_SCHEMA} document"
+        )
+    return report

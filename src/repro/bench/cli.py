@@ -90,6 +90,12 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--alpha", type=float, default=DEFAULT_ALPHA)
     compare.add_argument("--verbose", action="store_true", help="also list unchanged series")
     compare.add_argument("--json", action="store_true", help="machine-readable verdicts on stdout")
+    compare.add_argument(
+        "--attribute",
+        action="store_true",
+        help="blame each significant regression on a pipeline phase and a "
+        "tile-row band using the documents' embedded workload profiles",
+    )
 
     gate = sub.add_parser(
         "gate", help="fail (exit 9) on statistically significant regressions"
@@ -166,7 +172,12 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    from repro.analysis.bench_compare import compare_documents, render_comparison
+    from repro.analysis.bench_compare import (
+        attribute_regressions,
+        compare_documents,
+        render_attribution,
+        render_comparison,
+    )
     from repro.bench.schema import load_document
 
     base = load_document(args.baseline)
@@ -174,33 +185,37 @@ def _cmd_compare(args) -> int:
     report = compare_documents(
         base, cur, noise_threshold=args.threshold, alpha=args.alpha
     )
+    attributions = (
+        attribute_regressions(report, base, cur) if args.attribute else None
+    )
     if args.json:
         import json
 
-        print(
-            json.dumps(
+        payload = {
+            "baseline": report.baseline_label,
+            "current": report.current_label,
+            "noise_threshold": report.noise_threshold,
+            "alpha": report.alpha,
+            "geomean_speedup": report.geomean_speedup(),
+            "series": [
                 {
-                    "baseline": report.baseline_label,
-                    "current": report.current_label,
-                    "noise_threshold": report.noise_threshold,
-                    "alpha": report.alpha,
-                    "geomean_speedup": report.geomean_speedup(),
-                    "series": [
-                        {
-                            "key": d.key,
-                            "classification": d.classification,
-                            "significant": d.significant,
-                            "speedup": d.speedup,
-                            "p_value": d.p_value,
-                        }
-                        for d in report.deltas
-                    ],
-                },
-                indent=2,
-            )
-        )
+                    "key": d.key,
+                    "classification": d.classification,
+                    "significant": d.significant,
+                    "speedup": d.speedup,
+                    "p_value": d.p_value,
+                }
+                for d in report.deltas
+            ],
+        }
+        if attributions is not None:
+            payload["attributions"] = attributions
+        print(json.dumps(payload, indent=2))
     else:
         print(render_comparison(report, verbose=args.verbose))
+        if attributions is not None:
+            print()
+            print(render_attribution(attributions))
     return EXIT_OK
 
 

@@ -31,7 +31,7 @@ from repro.backend import resolve_backend_name, use_backend
 from repro.baselines import get_algorithm
 from repro.bench import schema
 from repro.gpu import DEVICES, estimate_run
-from repro.obs import MetricsRegistry, obs_context
+from repro.obs import MetricsRegistry, WorkloadProfiler, obs_context
 
 __all__ = [
     "SuiteSpec",
@@ -253,11 +253,14 @@ class BenchRunner:
             kwargs["b_tiled"] = _tiled_of(a) if op == "aa" else _tiled_of(b)
         fn = get_algorithm(method)
 
-        # Instrumented pass: collects the kernel counters and the result
-        # whose statistics feed the cost model; doubles as the first
-        # warmup iteration so the counters cost no extra execution.
+        # Instrumented pass: collects the kernel counters, the workload
+        # profile and the result whose statistics feed the cost model;
+        # doubles as the first warmup iteration so the counters cost no
+        # extra execution.  The timed repeats below run outside the
+        # context, so the samples price the algorithm alone.
         metrics = MetricsRegistry()
-        with obs_context(metrics=metrics):
+        profiler = WorkloadProfiler()
+        with obs_context(metrics=metrics, profile=profiler):
             result = fn(a, b, **kwargs)
         for _ in range(max(cfg.warmup - 1, 0)):
             fn(a, b, **kwargs)
@@ -272,9 +275,13 @@ class BenchRunner:
         median = float(np.median(samples)) if samples else 0.0
         gflops = flops / median / 1e9 if median > 0 else None
 
+        # Estimates run under the same profiler so each one deposits a
+        # calibration sample (prediction joined with the measured pass)
+        # into the series' embedded profile.
         estimates: Dict[str, Any] = {}
         for dev_key in cfg.devices:
-            est = estimate_run(result, DEVICES[dev_key])
+            with obs_context(profile=profiler):
+                est = estimate_run(result, DEVICES[dev_key])
             estimates[dev_key] = {
                 "device": est.device.name,
                 "seconds": est.seconds if np.isfinite(est.seconds) else -1.0,
@@ -309,4 +316,7 @@ class BenchRunner:
             phases={name: st.total for name, st in result.timer.summary().items()},
             counters=dict(metrics.snapshot()["counters"]),
             estimates=estimates,
+            # Per-series: the process-wide tile-cache counters would smear
+            # across series, so the snapshot is omitted here.
+            profile=profiler.to_dict(include_cache=False),
         )

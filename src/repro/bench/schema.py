@@ -144,8 +144,15 @@ def make_series(
     counters: Optional[Dict[str, float]] = None,
     estimates: Optional[Dict[str, Any]] = None,
     extra: Optional[Dict[str, Any]] = None,
+    profile: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """One series entry (see the module docstring for the shape)."""
+    """One series entry (see the module docstring for the shape).
+
+    ``profile`` embeds this series' ``repro.profile/1`` workload-profile
+    artifact (phases, tile-row bands, calibration samples) so history
+    snapshots carry the attribution data ``bench compare --attribute``
+    blames regressions with.
+    """
     out: Dict[str, Any] = {
         "key": series_key(matrix, method, op),
         "matrix": str(matrix),
@@ -167,6 +174,8 @@ def make_series(
         out["estimates"] = estimates
     if extra:
         out["extra"] = extra
+    if profile:
+        out["profile"] = profile
     return out
 
 
@@ -251,6 +260,14 @@ def validate_document(doc: Any) -> Dict[str, Any]:
                     _fail(f"{at}.estimates[{dev!r}]", "expected an object")
                 for field in ("seconds", "gflops"):
                     _check_number(e.get(field), f"{at}.estimates[{dev!r}].{field}")
+        embedded = s.get("profile")
+        if embedded is not None:
+            from repro.obs.profile import validate_profile
+
+            try:
+                validate_profile(embedded)
+            except InvalidInputError as exc:
+                _fail(f"{at}.profile", str(exc))
     return doc
 
 

@@ -84,6 +84,10 @@ class NumericResult:
     dense_tiles: int
     #: per-candidate-tile accumulator choice (``None`` until the phase ran)
     use_dense: Optional[np.ndarray] = field(default=None)
+    #: the resolved accumulator-selection threshold this phase ran with
+    #: (``None`` only for hand-built results) — the workload profiler's
+    #: tnnz-decision capture reads it from ``collect_stats``
+    tnnz: Optional[int] = field(default=None)
 
 
 def c_indices_from_masks(
@@ -246,6 +250,7 @@ def step3_numeric(
         sparse_tiles=int(num_c - num_dense),
         dense_tiles=num_dense,
         use_dense=use_dense,
+        tnnz=int(tnnz),
     )
 
 

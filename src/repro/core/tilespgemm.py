@@ -31,6 +31,7 @@ from repro.core.step3 import NumericResult, default_tnnz, step3_numeric
 from repro.core.tile_matrix import TILE, TileMatrix
 from repro.errors import InvalidInputError
 from repro.obs.context import current_obs
+from repro.obs.profile import current_row_offset
 from repro.runtime.context import execution_context, note_step
 from repro.util.alloc import AllocationTracker
 from repro.util.timing import PhaseTimer
@@ -278,6 +279,9 @@ def _tile_spgemm_under_context(
     stats["backend"] = kernels.name
     if obs.enabled:
         _record_obs_metrics(obs.metrics, stats)
+        profiler = obs.profile
+        if profiler.enabled:
+            profiler.record_run(stats, timer, row_offset=current_row_offset())
     return TileSpGEMMResult(
         c=c, timer=timer, alloc=alloc, stats=stats, pairs=pairs, symbolic=sym
     )
@@ -393,4 +397,6 @@ def collect_stats(
         "tile_nnz_counts": sym.tile_nnz_counts,
         "tile_use_dense": num.use_dense,
         "tile_size": a.tile_size,
+        "c_tilerow": pairs.c_tilerow,
+        "tnnz": num.tnnz,
     }

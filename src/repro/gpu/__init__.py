@@ -6,7 +6,13 @@ statistics, and :func:`~repro.gpu.costmodel.estimate_run` converts them to
 estimated kernel times on a :class:`~repro.gpu.device.DeviceModel`.
 """
 
-from repro.gpu.costmodel import COST, GPUEstimate, KernelEstimate, estimate_run
+from repro.gpu.costmodel import (
+    COST,
+    GPUEstimate,
+    KernelEstimate,
+    estimate_family,
+    estimate_run,
+)
 from repro.gpu.device import DEVICES, RTX3060, RTX3090, DeviceModel
 from repro.gpu.memtracker import MemoryCurve, memory_curve
 from repro.gpu.scheduler import greedy_makespan, imbalance_factor
@@ -21,6 +27,7 @@ __all__ = [
     "KernelEstimate",
     "MemoryCurve",
     "estimate_run",
+    "estimate_family",
     "greedy_makespan",
     "imbalance_factor",
     "memory_curve",

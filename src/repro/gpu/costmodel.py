@@ -40,8 +40,9 @@ import numpy as np
 from repro.baselines.base import SpGEMMResult
 from repro.gpu.device import DeviceModel
 from repro.gpu.scheduler import greedy_makespan
+from repro.obs.context import current_obs
 
-__all__ = ["KernelEstimate", "GPUEstimate", "estimate_run", "COST"]
+__all__ = ["KernelEstimate", "GPUEstimate", "estimate_run", "estimate_family", "COST"]
 
 
 # ----------------------------------------------------------------------
@@ -511,6 +512,23 @@ _ESTIMATORS = {
 }
 
 
+def estimate_family(method: str) -> str:
+    """The ``_ESTIMATORS`` key pricing ``method``.
+
+    The calibration layer stratifies prediction error by this label: the
+    sharded parallel variants share the ``tilespgemm`` profile, and the
+    reference methods share the SPA profile, so errors aggregate where
+    the *model* aggregates.
+    """
+    if method in _ESTIMATORS:
+        return method
+    if method.startswith("tilespgemm"):
+        return "tilespgemm"
+    raise KeyError(
+        f"no cost model for method {method!r}; known: {sorted(_ESTIMATORS)}"
+    )
+
+
 def estimate_run(result: SpGEMMResult, device: DeviceModel) -> GPUEstimate:
     """Estimate one run's execution on ``device``.
 
@@ -521,16 +539,22 @@ def estimate_run(result: SpGEMMResult, device: DeviceModel) -> GPUEstimate:
         go through the registry adapter so they share this type).
     device:
         Target device model.
+
+    When the ambient observability context carries a live
+    :class:`~repro.obs.profile.WorkloadProfiler`, every estimate also
+    deposits a calibration sample there — the prediction joined with the
+    run's measured phase seconds — which is what ``repro obs calibrate``
+    turns into per-family prediction-error reports.
     """
     method = result.method
-    estimator = _ESTIMATORS.get(method)
-    if estimator is None and method.startswith("tilespgemm"):
-        # The sharded parallel variants (tilespgemm_par2, ...) execute the
-        # same kernels as the serial engine and their merged stats equal
-        # one serial run's totals, so they share its cost profile.
-        estimator = _ESTIMATORS["tilespgemm"]
-    if estimator is None:
-        raise KeyError(
-            f"no cost model for method {method!r}; known: {sorted(_ESTIMATORS)}"
+    family = estimate_family(method)
+    # See estimate_family: tilespgemm_par* execute the same kernels as
+    # the serial engine and their merged stats equal one serial run's
+    # totals, so they share its cost profile.
+    estimate = _ESTIMATORS[family](result, device)
+    profiler = current_obs().profile
+    if profiler.enabled:
+        profiler.record_estimate(
+            estimate, family=family, timer=result.timer, stats=result.stats
         )
-    return estimator(result, device)
+    return estimate

@@ -22,7 +22,10 @@ without seeing the counters and the timeline.  Three pieces:
 * :mod:`repro.obs.http` — a stdlib HTTP endpoint serving ``/metrics``
   (Prometheus text), ``/healthz`` and ``/varz`` from a live run;
 * :mod:`repro.obs.slo` — per-tenant latency objectives with
-  error-budget burn-rate gauges.
+  error-budget burn-rate gauges;
+* :mod:`repro.obs.profile` — the always-on workload profiler: per-phase
+  / per-tile-row-band work attribution, tnnz decisions and cost-model
+  calibration samples aggregated into ``repro.profile/1`` artifacts.
 
 Typical use::
 
@@ -50,6 +53,19 @@ from repro.obs.metrics import (
     NullMetrics,
 )
 from repro.obs.native import json_default, to_native
+from repro.obs.profile import (
+    DEFAULT_BAND_TILE_ROWS,
+    NULL_PROFILER,
+    PROFILE_SCHEMA,
+    NullProfiler,
+    WorkloadProfiler,
+    current_row_offset,
+    load_profile,
+    profile_row_offset,
+    render_profile,
+    validate_profile,
+    write_profile,
+)
 from repro.obs.propagate import (
     TraceContext,
     WorkerTelemetry,
@@ -93,4 +109,15 @@ __all__ = [
     "SLOTracker",
     "to_native",
     "json_default",
+    "WorkloadProfiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "PROFILE_SCHEMA",
+    "DEFAULT_BAND_TILE_ROWS",
+    "profile_row_offset",
+    "current_row_offset",
+    "validate_profile",
+    "write_profile",
+    "load_profile",
+    "render_profile",
 ]

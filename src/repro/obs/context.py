@@ -38,6 +38,7 @@ from typing import Iterator, List, Optional
 
 from repro.obs.log import NULL_LOG, EventLog, NullEventLog
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
+from repro.obs.profile import NULL_PROFILER, NullProfiler, WorkloadProfiler
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
@@ -64,6 +65,9 @@ class ObsContext:
     log:
         A structured :class:`~repro.obs.log.EventLog` or the no-op
         :data:`~repro.obs.log.NULL_LOG`.
+    profile:
+        A :class:`~repro.obs.profile.WorkloadProfiler` or the no-op
+        :data:`~repro.obs.profile.NULL_PROFILER`.
     trace_ctx:
         The propagated :class:`~repro.obs.propagate.TraceContext` this
         work runs under (``None`` at top level).  Engines that fan work
@@ -78,6 +82,7 @@ class ObsContext:
     tracer: object = NULL_TRACER
     metrics: object = NULL_METRICS
     log: object = NULL_LOG
+    profile: object = NULL_PROFILER
     trace_ctx: Optional[object] = None
     enabled: bool = False
 
@@ -105,6 +110,7 @@ def make_obs(
     trace: bool = True,
     metrics: bool = True,
     log: bool = False,
+    profile: bool = True,
     clock=None,
     log_path=None,
 ) -> ObsContext:
@@ -112,10 +118,13 @@ def make_obs(
 
     Parameters
     ----------
-    trace, metrics, log:
+    trace, metrics, log, profile:
         Which sinks to enable; a disabled sink stays the no-op
         singleton.  The event log defaults off — it is the serving
-        tier's sink and pure-library runs rarely want it.
+        tier's sink and pure-library runs rarely want it.  The workload
+        profiler defaults **on**: it is the always-on substrate of the
+        ``obs profile`` / ``obs calibrate`` reports and its recording
+        cost is covered by the <5 % overhead bound.
     clock:
         Optional deterministic clock forwarded to the tracer.
     log_path:
@@ -127,14 +136,21 @@ def make_obs(
     event_log = (
         EventLog(path=log_path) if (log or log_path is not None) else NULL_LOG
     )
-    enabled = trace or metrics or event_log.enabled
+    profiler = WorkloadProfiler() if profile else NULL_PROFILER
+    enabled = trace or metrics or event_log.enabled or profile
     return ObsContext(
-        tracer=tracer, metrics=registry, log=event_log, enabled=enabled
+        tracer=tracer,
+        metrics=registry,
+        log=event_log,
+        profile=profiler,
+        enabled=enabled,
     )
 
 
 def _is_live(sink) -> bool:
-    return not isinstance(sink, (NullTracer, NullMetrics, NullEventLog))
+    return not isinstance(
+        sink, (NullTracer, NullMetrics, NullEventLog, NullProfiler)
+    )
 
 
 @contextmanager
@@ -142,6 +158,7 @@ def obs_context(
     tracer: Optional[object] = None,
     metrics: Optional[object] = None,
     log: Optional[object] = None,
+    profile: Optional[object] = None,
     trace_ctx: Optional[object] = None,
 ) -> Iterator[ObsContext]:
     """Activate an observability context for the ``with`` block.
@@ -159,13 +176,18 @@ def obs_context(
         metrics = parent.metrics
     if log is None:
         log = parent.log
+    if profile is None:
+        profile = parent.profile
     if trace_ctx is None:
         trace_ctx = parent.trace_ctx
-    enabled = _is_live(tracer) or _is_live(metrics) or _is_live(log)
+    enabled = (
+        _is_live(tracer) or _is_live(metrics) or _is_live(log) or _is_live(profile)
+    )
     ctx = ObsContext(
         tracer=tracer,
         metrics=metrics,
         log=log,
+        profile=profile,
         trace_ctx=trace_ctx,
         enabled=enabled,
     )

@@ -1,0 +1,638 @@
+"""Always-on workload profiler: where the time and the work went.
+
+The paper's performance story is driven by per-tile-row workload skew —
+intermediate-product counts, the sparse-vs-dense accumulator choice, the
+``tnnz`` threshold decision — and the ROADMAP's estimation-driven
+adaptive planner needs exactly those signals joined with wall time
+before it can exist.  The tracer shows *when* phases ran and the metrics
+registry counts *how much* total work happened, but neither attributes
+work to the tile-row bands it came from, and neither joins the cost
+model's predictions against what was measured.
+
+:class:`WorkloadProfiler` closes that gap.  It aggregates, per run:
+
+* **per-phase** wall seconds (``step1``/``step2``/``step3``/``malloc``);
+* **per-tile-row-band** workload: candidate tiles, matched pairs,
+  intermediate products, ``nnz(C)``, and the accumulator path taken
+  (tiles grouped into bands of :data:`DEFAULT_BAND_TILE_ROWS` tile
+  rows, so hotspot reports name a row range, not a tile id);
+* **tnnz decisions**: how many tiles went sparse vs dense per threshold;
+* **calibration samples**: one record per
+  :func:`repro.gpu.costmodel.estimate_run` call joining the predicted
+  per-kernel seconds against the run's measured phase seconds and its
+  compression rate (``products / nnz(C)``) — the raw material of
+  :mod:`repro.analysis.calibration`;
+* **per-shard** records appended when worker payloads are absorbed.
+
+Everything serialises into a schema-versioned ``repro.profile/1`` JSON
+artifact (:meth:`WorkloadProfiler.to_dict`), coerced through
+:func:`repro.obs.native.to_native` so ``json.dumps`` needs no custom
+default.
+
+**Merging.**  The profiler state is additive: pool workers profile
+locally, ship a plain-dict payload inside
+:class:`~repro.obs.propagate.WorkerTelemetry`, and the coordinator
+absorbs it (:meth:`WorkloadProfiler.absorb_payload`).  Because tile row
+``i`` of ``C`` depends only on tile row ``i`` of ``A``, the per-band
+counts of a sharded run sum to the serial run's exactly —
+:meth:`workload` exposes the deterministic sub-document the
+spawn-boundary tests compare byte for byte.  Shard-local tile rows are
+rebased onto the global row space via the ambient offset
+(:func:`profile_row_offset` / :func:`current_row_offset`), which the
+engines thread through :class:`~repro.obs.propagate.TraceContext`.
+
+**Cost.**  Recording is O(candidate tiles) NumPy reductions per run —
+the same order as the existing metrics recording — and the disabled
+path is :data:`NULL_PROFILER`, whose methods are no-ops, so the
+observability overhead bench's <5 % bound holds with the profiler live
+(``benchmarks/bench_ext_observability.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.obs.native import to_native
+
+__all__ = [
+    "PROFILE_SCHEMA",
+    "DEFAULT_BAND_TILE_ROWS",
+    "WorkloadProfiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "profile_row_offset",
+    "current_row_offset",
+    "validate_profile",
+    "write_profile",
+    "load_profile",
+    "render_profile",
+]
+
+#: Version tag of the profile artifact; bump on incompatible changes.
+PROFILE_SCHEMA = "repro.profile/1"
+
+#: Tile rows per attribution band (4 tile rows = 64 matrix rows at the
+#: paper's 16x16 tiles) — coarse enough that artifacts stay small on the
+#: representative suite, fine enough to localise a hotspot.
+DEFAULT_BAND_TILE_ROWS = 4
+
+_BAND_COUNT_KEYS = (
+    "tiles",
+    "pairs",
+    "products",
+    "nnz_c",
+    "sparse_tiles",
+    "dense_tiles",
+)
+
+_TOTAL_KEYS = (
+    "products",
+    "flops",
+    "nnz_c",
+    "num_c_tiles",
+    "pairs",
+    "sparse_tiles",
+    "dense_tiles",
+)
+
+
+class _RowOffset(threading.local):
+    """Ambient tile-row offset of the work running on this thread."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+
+_ROW_OFFSET = _RowOffset()
+
+
+def current_row_offset() -> int:
+    """The global tile-row index that this thread's local row 0 maps to.
+
+    ``0`` outside any :func:`profile_row_offset` block — whole-matrix
+    runs attribute bands directly.
+    """
+    return _ROW_OFFSET.value
+
+
+@contextmanager
+def profile_row_offset(offset: int) -> Iterator[None]:
+    """Rebase band attribution for the ``with`` block.
+
+    The chunked and sharded engines slice ``A``'s tile rows into
+    0-based sub-matrices; wrapping each slice's execution in its global
+    start row keeps the profile's bands in whole-matrix coordinates, so
+    a sharded run's bands sum to the serial run's.
+    """
+    prev = _ROW_OFFSET.value
+    _ROW_OFFSET.value = int(offset)
+    try:
+        yield
+    finally:
+        _ROW_OFFSET.value = prev
+
+
+class WorkloadProfiler:
+    """Additive aggregation of one run's (or one service's) workload.
+
+    Parameters
+    ----------
+    band_tile_rows:
+        Tile rows per attribution band.  Must match across every
+        profiler whose state is merged (enforced by
+        :meth:`absorb_payload`).
+    """
+
+    enabled: bool = True
+
+    def __init__(self, band_tile_rows: int = DEFAULT_BAND_TILE_ROWS) -> None:
+        if band_tile_rows < 1:
+            raise ValueError(f"band_tile_rows must be >= 1, got {band_tile_rows}")
+        self.band_tile_rows = int(band_tile_rows)
+        self.runs = 0
+        self.phases: Dict[str, Dict[str, float]] = {}
+        self.bands: Dict[int, Dict[str, int]] = {}
+        self.totals: Dict[str, int] = {k: 0 for k in _TOTAL_KEYS}
+        self.tnnz: Dict[str, Dict[str, int]] = {}
+        self.shards: List[Dict[str, Any]] = []
+        self.calibration: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------ recording
+    def record_run(self, stats: Dict[str, Any], timer, row_offset: int = 0) -> None:
+        """Fold one ``tile_spgemm`` run's stats and phase timer in.
+
+        ``row_offset`` rebases the run's local tile rows onto the global
+        row space (shard/batch slices); whole-matrix runs pass 0.
+        """
+        self.runs += 1
+        for name, seconds in timer.seconds.items():
+            ph = self.phases.setdefault(name, {"seconds": 0.0, "count": 0})
+            ph["seconds"] += float(seconds)
+            ph["count"] += int(timer.count(name))
+
+        totals = self.totals
+        totals["products"] += int(stats.get("num_products", 0))
+        totals["flops"] += int(stats.get("flops", 0))
+        totals["nnz_c"] += int(stats.get("nnz_c", 0))
+        totals["num_c_tiles"] += int(stats.get("num_c_tiles", 0))
+        sparse_tiles = int(stats.get("sparse_tiles", 0))
+        dense_tiles = int(stats.get("dense_tiles", 0))
+        totals["sparse_tiles"] += sparse_tiles
+        totals["dense_tiles"] += dense_tiles
+
+        threshold = stats.get("tnnz")
+        if threshold is not None:
+            decision = self.tnnz.setdefault(
+                str(int(threshold)), {"sparse_tiles": 0, "dense_tiles": 0}
+            )
+            decision["sparse_tiles"] += sparse_tiles
+            decision["dense_tiles"] += dense_tiles
+
+        tile_rows = stats.get("c_tilerow")
+        if tile_rows is None:
+            return
+        tile_rows = np.asarray(tile_rows, dtype=np.int64) + int(row_offset)
+        if tile_rows.size == 0:
+            return
+        band_ids = tile_rows // self.band_tile_rows
+        minlength = int(band_ids.max()) + 1
+        per_band = {
+            "tiles": np.bincount(band_ids, minlength=minlength),
+            "pairs": np.bincount(
+                band_ids,
+                weights=np.asarray(stats["pairs_per_tile"], dtype=np.float64),
+                minlength=minlength,
+            ),
+            "products": np.bincount(
+                band_ids,
+                weights=np.asarray(stats["products_per_tile"], dtype=np.float64),
+                minlength=minlength,
+            ),
+            "nnz_c": np.bincount(
+                band_ids,
+                weights=np.asarray(stats["tile_nnz_counts"], dtype=np.float64),
+                minlength=minlength,
+            ),
+            "dense_tiles": np.bincount(
+                band_ids,
+                weights=np.asarray(stats["tile_use_dense"], dtype=np.float64),
+                minlength=minlength,
+            ),
+        }
+        per_band["sparse_tiles"] = per_band["tiles"] - per_band["dense_tiles"]
+        totals["pairs"] += int(per_band["pairs"].sum())
+        for band in np.flatnonzero(per_band["tiles"]):
+            counts = self.bands.setdefault(
+                int(band), {k: 0 for k in _BAND_COUNT_KEYS}
+            )
+            for key in _BAND_COUNT_KEYS:
+                counts[key] += int(per_band[key][band])
+
+    def record_estimate(
+        self,
+        estimate,
+        family: str,
+        timer=None,
+        stats: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record one cost-model prediction joined with measured actuals.
+
+        Called by :func:`repro.gpu.costmodel.estimate_run` for every
+        estimate computed inside a profiling context; ``timer``/``stats``
+        come from the measured run the estimate priced.
+        """
+        predicted_s = float(estimate.seconds)
+        sample: Dict[str, Any] = {
+            "family": str(family),
+            "method": str(estimate.method),
+            "device": str(estimate.device.name),
+            "oom": bool(estimate.oom),
+            "predicted_s": predicted_s if np.isfinite(predicted_s) else -1.0,
+            "predicted_phases": {
+                str(k): float(v) for k, v in estimate.breakdown().items()
+            },
+            "flops": int(estimate.flops),
+        }
+        if timer is not None:
+            sample["measured_s"] = float(timer.total)
+            sample["measured_phases"] = {
+                str(k): float(v) for k, v in timer.seconds.items()
+            }
+        if stats is not None:
+            products = int(stats.get("num_products", 0))
+            nnz_c = int(stats.get("nnz_c", 0))
+            sample["products"] = products
+            sample["nnz_c"] = nnz_c
+            sample["compression"] = products / nnz_c if nnz_c > 0 else 0.0
+        self.calibration.append(sample)
+
+    # ------------------------------------------------------------ merging
+    def to_payload(self) -> Dict[str, Any]:
+        """The mergeable state as a plain (picklable, JSON-able) dict.
+
+        What :func:`repro.obs.propagate.run_with_worker_obs` ships back
+        inside :class:`~repro.obs.propagate.WorkerTelemetry`.
+        """
+        return to_native(
+            {
+                "band_tile_rows": self.band_tile_rows,
+                "runs": self.runs,
+                "phases": {k: dict(v) for k, v in self.phases.items()},
+                "bands": {str(k): dict(v) for k, v in self.bands.items()},
+                "totals": dict(self.totals),
+                "tnnz": {k: dict(v) for k, v in self.tnnz.items()},
+                "calibration": list(self.calibration),
+            }
+        )
+
+    def absorb_payload(
+        self, payload: Optional[Dict[str, Any]], worker: str = ""
+    ) -> None:
+        """Merge a worker's :meth:`to_payload` dict in (additively).
+
+        ``None`` and empty payloads (``runs == 0`` with no calibration
+        samples) are no-ops.  A ``worker`` label appends a per-shard
+        record so the artifact keeps the pool's shape.
+        """
+        if not payload:
+            return
+        if not payload.get("runs") and not payload.get("calibration"):
+            return
+        if int(payload.get("band_tile_rows", self.band_tile_rows)) != self.band_tile_rows:
+            raise ValueError(
+                "cannot merge profiles with different band widths: "
+                f"{payload.get('band_tile_rows')} vs {self.band_tile_rows}"
+            )
+        self.runs += int(payload.get("runs", 0))
+        for name, ph in payload.get("phases", {}).items():
+            mine = self.phases.setdefault(name, {"seconds": 0.0, "count": 0})
+            mine["seconds"] += float(ph.get("seconds", 0.0))
+            mine["count"] += int(ph.get("count", 0))
+        for band, counts in payload.get("bands", {}).items():
+            mine = self.bands.setdefault(
+                int(band), {k: 0 for k in _BAND_COUNT_KEYS}
+            )
+            for key in _BAND_COUNT_KEYS:
+                mine[key] += int(counts.get(key, 0))
+        for key, value in payload.get("totals", {}).items():
+            self.totals[key] = self.totals.get(key, 0) + int(value)
+        for threshold, decision in payload.get("tnnz", {}).items():
+            mine = self.tnnz.setdefault(
+                str(threshold), {"sparse_tiles": 0, "dense_tiles": 0}
+            )
+            for key, value in decision.items():
+                mine[key] = mine.get(key, 0) + int(value)
+        self.calibration.extend(payload.get("calibration", []))
+        if worker:
+            self.shards.append(
+                {
+                    "worker": str(worker),
+                    "runs": int(payload.get("runs", 0)),
+                    "seconds": float(
+                        sum(
+                            ph.get("seconds", 0.0)
+                            for ph in payload.get("phases", {}).values()
+                        )
+                    ),
+                    "products": int(payload.get("totals", {}).get("products", 0)),
+                }
+            )
+
+    def merge(self, other: "WorkloadProfiler", worker: str = "") -> None:
+        """Fold another profiler's state into this one."""
+        self.absorb_payload(other.to_payload(), worker=worker)
+
+    # ------------------------------------------------------------- export
+    def _band_rows(self) -> List[Dict[str, Any]]:
+        width = self.band_tile_rows
+        return [
+            {
+                "band": band,
+                "tile_rows": [band * width, (band + 1) * width],
+                **{k: counts[k] for k in _BAND_COUNT_KEYS},
+            }
+            for band, counts in sorted(self.bands.items())
+        ]
+
+    def workload(self) -> Dict[str, Any]:
+        """The deterministic sub-document: counts only, no timings.
+
+        Depends only on the inputs and the algorithm's decisions — the
+        shard profiles of a parallel run sum to the serial run's
+        workload byte for byte (``json.dumps(..., sort_keys=True)``),
+        which the spawn-boundary propagation tests assert.
+        """
+        return to_native(
+            {
+                "schema": PROFILE_SCHEMA,
+                "band_tile_rows": self.band_tile_rows,
+                "totals": dict(self.totals),
+                "tnnz": {k: dict(v) for k, v in sorted(self.tnnz.items())},
+                "bands": self._band_rows(),
+            }
+        )
+
+    def to_dict(self, include_cache: bool = True) -> Dict[str, Any]:
+        """The full ``repro.profile/1`` artifact as a plain dict.
+
+        ``include_cache`` snapshots the process-wide
+        :class:`~repro.runtime.tilecache.TileCache` counters at call
+        time (skipped for per-series bench embedding, where the global
+        cache would smear across series).
+        """
+        doc: Dict[str, Any] = {
+            "schema": PROFILE_SCHEMA,
+            "band_tile_rows": self.band_tile_rows,
+            "runs": self.runs,
+            "phases": {k: dict(v) for k, v in self.phases.items()},
+            "totals": dict(self.totals),
+            "tnnz": {k: dict(v) for k, v in sorted(self.tnnz.items())},
+            "bands": self._band_rows(),
+            "shards": list(self.shards),
+            "calibration": list(self.calibration),
+        }
+        if include_cache:
+            from repro.runtime.tilecache import get_tile_cache
+
+            doc["cache"] = get_tile_cache().stats()
+        return to_native(doc)
+
+    def summary(self) -> Dict[str, Any]:
+        """A small live view for ``/varz``: totals, phases, top band."""
+        top = None
+        if self.bands:
+            band, counts = max(self.bands.items(), key=lambda kv: kv[1]["products"])
+            width = self.band_tile_rows
+            top = {
+                "tile_rows": [band * width, (band + 1) * width],
+                "products": counts["products"],
+                "nnz_c": counts["nnz_c"],
+            }
+        runs = max(self.runs, 1)
+        return to_native(
+            {
+                "runs": self.runs,
+                "phase_seconds": {
+                    k: v["seconds"] for k, v in self.phases.items()
+                },
+                "products": self.totals["products"],
+                "nnz_c": self.totals["nnz_c"],
+                "products_per_run": self.totals["products"] / runs,
+                "top_band": top,
+            }
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WorkloadProfiler(runs={self.runs}, bands={len(self.bands)}, "
+            f"calibration={len(self.calibration)})"
+        )
+
+
+class NullProfiler:
+    """The disabled profiler: every method is a no-op.
+
+    One shared instance (:data:`NULL_PROFILER`) backs the default
+    observability context, so unprofiled runs pay a truthiness check on
+    ``enabled`` and nothing else.
+    """
+
+    enabled: bool = False
+
+    def record_run(self, stats, timer, row_offset: int = 0) -> None:
+        pass
+
+    def record_estimate(self, estimate, family, timer=None, stats=None) -> None:
+        pass
+
+    def to_payload(self) -> None:
+        return None
+
+    def absorb_payload(self, payload, worker: str = "") -> None:
+        pass
+
+    def merge(self, other, worker: str = "") -> None:
+        pass
+
+    def summary(self) -> Dict[str, Any]:
+        return {}
+
+
+#: Singleton used by the default (disabled) observability context.
+NULL_PROFILER = NullProfiler()
+
+
+# ----------------------------------------------------------------------
+# Artifact I/O and validation
+# ----------------------------------------------------------------------
+def _fail(path: str, message: str):
+    from repro.errors import InvalidInputError
+
+    raise InvalidInputError(f"invalid profile artifact at {path}: {message}")
+
+
+def _check_number(value: Any, path: str) -> None:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        _fail(path, f"expected a number, got {value!r}")
+
+
+def validate_profile(doc: Any) -> Dict[str, Any]:
+    """Check ``doc`` against the ``repro.profile/1`` shape; returns it.
+
+    Raises :class:`~repro.errors.InvalidInputError` naming the first
+    offending path, mirroring the bench schema's contract.
+    """
+    if not isinstance(doc, dict):
+        _fail("$", "artifact must be a JSON object")
+    if doc.get("schema") != PROFILE_SCHEMA:
+        _fail("$.schema", f"expected {PROFILE_SCHEMA!r}, got {doc.get('schema')!r}")
+    _check_number(doc.get("band_tile_rows"), "$.band_tile_rows")
+    _check_number(doc.get("runs"), "$.runs")
+    phases = doc.get("phases")
+    if not isinstance(phases, dict):
+        _fail("$.phases", "expected an object")
+    for name, ph in phases.items():
+        if not isinstance(ph, dict):
+            _fail(f"$.phases[{name!r}]", "expected an object")
+        for key in ("seconds", "count"):
+            _check_number(ph.get(key), f"$.phases[{name!r}].{key}")
+    totals = doc.get("totals")
+    if not isinstance(totals, dict):
+        _fail("$.totals", "expected an object")
+    for key in _TOTAL_KEYS:
+        _check_number(totals.get(key), f"$.totals.{key}")
+    bands = doc.get("bands")
+    if not isinstance(bands, list):
+        _fail("$.bands", "expected a list")
+    for i, band in enumerate(bands):
+        at = f"$.bands[{i}]"
+        if not isinstance(band, dict):
+            _fail(at, "expected an object")
+        _check_number(band.get("band"), f"{at}.band")
+        rows = band.get("tile_rows")
+        if not (isinstance(rows, list) and len(rows) == 2):
+            _fail(f"{at}.tile_rows", "expected a [start, end) pair")
+        for key in _BAND_COUNT_KEYS:
+            _check_number(band.get(key), f"{at}.{key}")
+    calibration = doc.get("calibration")
+    if not isinstance(calibration, list):
+        _fail("$.calibration", "expected a list")
+    for i, sample in enumerate(calibration):
+        at = f"$.calibration[{i}]"
+        if not isinstance(sample, dict):
+            _fail(at, "expected an object")
+        for key in ("family", "method", "device"):
+            if not isinstance(sample.get(key), str) or not sample[key]:
+                _fail(f"{at}.{key}", "expected a non-empty string")
+        _check_number(sample.get("predicted_s"), f"{at}.predicted_s")
+    cache = doc.get("cache")
+    if cache is not None:
+        if not isinstance(cache, dict):
+            _fail("$.cache", "expected an object")
+        for key in ("hits", "misses", "evictions", "resident_bytes"):
+            _check_number(cache.get(key, 0), f"$.cache.{key}")
+    return doc
+
+
+def write_profile(doc: Dict[str, Any], path) -> None:
+    """Validate and write one profile artifact as indented JSON.
+
+    Serialisation needs no custom default: the profiler coerces through
+    :func:`~repro.obs.native.to_native` at every export seam.
+    """
+    validate_profile(doc)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def load_profile(path) -> Dict[str, Any]:
+    """Read and validate one ``repro.profile/1`` artifact."""
+    from repro.errors import InvalidInputError
+
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            doc = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise InvalidInputError(
+                f"profile artifact {path} is not valid JSON: {exc}"
+            ) from exc
+    return validate_profile(doc)
+
+
+def render_profile(doc: Dict[str, Any], top: int = 10) -> str:
+    """Human-readable hotspot report: phases, top tile-row bands, cache."""
+    lines: List[str] = []
+    totals = doc.get("totals", {})
+    lines.append(
+        f"workload profile ({doc.get('runs', 0)} runs): "
+        f"{totals.get('products', 0)} products -> {totals.get('nnz_c', 0)} nnz(C) "
+        f"across {totals.get('num_c_tiles', 0)} tiles "
+        f"({totals.get('sparse_tiles', 0)} sparse / {totals.get('dense_tiles', 0)} dense)"
+    )
+    phases = doc.get("phases", {})
+    if phases:
+        total_s = sum(ph.get("seconds", 0.0) for ph in phases.values()) or 1.0
+        lines.append(f"{'phase':<20} {'seconds':>12} {'share':>7} {'entries':>8}")
+        for name, ph in sorted(
+            phases.items(), key=lambda kv: -kv[1].get("seconds", 0.0)
+        ):
+            seconds = ph.get("seconds", 0.0)
+            lines.append(
+                f"{name:<20} {seconds:>12.6f} {seconds / total_s:>6.1%} "
+                f"{int(ph.get('count', 0)):>8}"
+            )
+    bands = sorted(
+        doc.get("bands", []), key=lambda b: -int(b.get("products", 0))
+    )[: max(int(top), 0)]
+    if bands:
+        lines.append("")
+        lines.append(
+            f"top {len(bands)} tile-row bands by intermediate products "
+            f"(band = {doc.get('band_tile_rows', '?')} tile rows):"
+        )
+        lines.append(
+            f"{'tile rows':<16} {'tiles':>7} {'pairs':>9} {'products':>10} "
+            f"{'nnz(C)':>9} {'dense':>6}"
+        )
+        for band in bands:
+            r0, r1 = band.get("tile_rows", [0, 0])
+            lines.append(
+                f"[{r0:>5}, {r1:>5}) {int(band.get('tiles', 0)):>7} "
+                f"{int(band.get('pairs', 0)):>9} {int(band.get('products', 0)):>10} "
+                f"{int(band.get('nnz_c', 0)):>9} {int(band.get('dense_tiles', 0)):>6}"
+            )
+    shards = doc.get("shards", [])
+    if shards:
+        lines.append("")
+        lines.append(f"shards absorbed: {len(shards)}")
+        for shard in shards:
+            lines.append(
+                f"  {shard.get('worker', '?'):<24} runs={shard.get('runs', 0)} "
+                f"products={shard.get('products', 0)} "
+                f"seconds={shard.get('seconds', 0.0):.6f}"
+            )
+    cache = doc.get("cache")
+    if cache:
+        lines.append("")
+        lines.append(
+            f"tile cache: {cache.get('hits', 0)} hits / "
+            f"{cache.get('misses', 0)} misses / {cache.get('evictions', 0)} "
+            f"evictions, {cache.get('size', 0)} entries "
+            f"({cache.get('resident_bytes', 0)} B resident)"
+        )
+    samples = doc.get("calibration", [])
+    if samples:
+        families = sorted({s.get("family", "?") for s in samples})
+        lines.append("")
+        lines.append(
+            f"calibration samples: {len(samples)} across families "
+            f"{', '.join(families)} (run `repro obs calibrate` for the "
+            "prediction-error report)"
+        )
+    return "\n".join(lines)

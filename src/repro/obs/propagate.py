@@ -44,6 +44,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.obs.context import obs_context
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.native import to_native
+from repro.obs.profile import WorkloadProfiler, profile_row_offset
 from repro.obs.trace import Tracer
 
 __all__ = [
@@ -80,10 +81,16 @@ class TraceContext:
     parent_span_id:
         ``span_id`` of the coordinator-side span that spawned this work;
         worker-recorded top-level spans parent-link to it.
+    row_offset:
+        Global tile-row index that the shipped work's local row 0 maps
+        to.  Sharded engines slice ``A`` into 0-based sub-matrices; the
+        worker harness re-bases its workload profile by this offset so
+        tile-row-band attribution stays in whole-matrix coordinates.
     """
 
     trace_id: str
     parent_span_id: str = ""
+    row_offset: int = 0
 
 
 def span_id_of(ctx: "TraceContext", tag: str) -> str:
@@ -115,6 +122,10 @@ class WorkerTelemetry:
     counters:
         ``(name, labels, value)`` triples from the worker's local
         metrics registry, for coordinator-side accumulation.
+    profile:
+        The worker's :meth:`~repro.obs.profile.WorkloadProfiler.to_payload`
+        dict (``None`` when the worker recorded nothing) — the additive
+        workload-profile state the coordinator absorbs.
     """
 
     ctx: TraceContext
@@ -125,6 +136,7 @@ class WorkerTelemetry:
     counters: List[Tuple[str, Dict[str, str], float]] = field(
         default_factory=list
     )
+    profile: Optional[Dict[str, Any]] = None
 
 
 def _worker_track() -> str:
@@ -156,12 +168,18 @@ def run_with_worker_obs(
         return fn(*args, **kwargs), None
     tracer = Tracer()
     registry = MetricsRegistry()
+    profiler = WorkloadProfiler()
     epoch_s = tracer.epoch_s
-    with obs_context(tracer=tracer, metrics=registry, trace_ctx=ctx):
-        result = fn(*args, **kwargs)
+    with obs_context(
+        tracer=tracer, metrics=registry, profile=profiler, trace_ctx=ctx
+    ):
+        with profile_row_offset(ctx.row_offset):
+            result = fn(*args, **kwargs)
     telemetry = WorkerTelemetry(
         ctx=ctx, worker=_worker_track(), epoch_s=epoch_s
     )
+    if profiler.runs or profiler.calibration:
+        telemetry.profile = profiler.to_payload()
     for sp in tracer.spans:
         telemetry.spans.append(
             {
@@ -196,6 +214,7 @@ def absorb_telemetry(
     *,
     epoch_s: Optional[float] = None,
     metrics=None,
+    profile=None,
     pid: str = "workers",
 ) -> int:
     """Merge a :class:`WorkerTelemetry` into the coordinator's sinks.
@@ -217,6 +236,10 @@ def absorb_telemetry(
         Optional coordinator registry; when given, the worker's counters
         are accumulated into it (counters only — merging is additive and
         order-free, exactly the property gauges and histograms lack).
+    profile:
+        Optional coordinator :class:`~repro.obs.profile.WorkloadProfiler`
+        (or the null profiler); when given, the worker's profile payload
+        is merged additively under the worker's track label.
     pid:
         Virtual process the worker tracks are drawn under.
 
@@ -263,4 +286,6 @@ def absorb_telemetry(
     if metrics is not None:
         for name, labels, value in telemetry.counters:
             metrics.inc(name, value, **labels)
+    if profile is not None and telemetry.profile is not None:
+        profile.absorb_payload(telemetry.profile, worker=telemetry.worker)
     return len(telemetry.spans)

@@ -29,6 +29,7 @@ from repro.core.tile_matrix import TileMatrix
 from repro.core.tilespgemm import TileSpGEMMResult, tile_spgemm
 from repro.errors import InvalidInputError
 from repro.obs.context import current_obs
+from repro.obs.profile import current_row_offset, profile_row_offset
 from repro.util.alloc import AllocationTracker
 from repro.util.timing import PhaseTimer
 
@@ -167,16 +168,20 @@ def chunked_tile_spgemm(
                 cat="chunked.batch",
                 tile_rows=[r0, r1],
             ):
-                batch_results.append(
-                    tile_spgemm(
-                        a_k,
-                        b,
-                        keep_empty_tiles=True,
-                        budget_bytes=budget_bytes,
-                        fault_plan=fault_plan,
-                        **kwargs,
+                # Batches are 0-based slices of A's tile rows; rebase the
+                # workload profiler so band attribution stays global (a
+                # chunked run nested under a shard composes both offsets).
+                with profile_row_offset(current_row_offset() + r0):
+                    batch_results.append(
+                        tile_spgemm(
+                            a_k,
+                            b,
+                            keep_empty_tiles=True,
+                            budget_bytes=budget_bytes,
+                            fault_plan=fault_plan,
+                            **kwargs,
+                        )
                     )
-                )
             if obs.enabled:
                 obs.metrics.inc("chunked_batches_total")
 

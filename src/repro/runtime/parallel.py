@@ -68,6 +68,7 @@ from repro.core.tile_matrix import TileMatrix
 from repro.core.tilespgemm import TileSpGEMMResult, _record_obs_metrics, tile_spgemm
 from repro.errors import ConfigurationError, InvalidInputError, TransientKernelError
 from repro.obs.context import current_obs
+from repro.obs.profile import current_row_offset
 from repro.obs.propagate import (
     TraceContext,
     absorb_telemetry,
@@ -334,21 +335,31 @@ def parallel_tile_spgemm(
     # pre-assigned here so the coordinator's after-the-fact shard spans
     # and the worker-recorded spans link up in the merged trace.
     trace_live = bool(getattr(obs.tracer, "enabled", False))
+    profile_live = bool(getattr(obs.profile, "enabled", False))
     ambient = obs.trace_ctx
     shard_ctxs: Optional[List[TraceContext]] = None
     span_attrs: Dict[str, object] = {}
     parallel_span_id = ""
     trace_id = ""
-    if trace_live:
+    if trace_live or profile_live:
+        # A live profiler also needs the shard contexts: they carry the
+        # tile-row offset the worker rebases its workload profile by,
+        # and the profile payload rides home inside WorkerTelemetry.
         trace_id = ambient.trace_id if ambient is not None else new_trace_id()
         parallel_span_id = f"{trace_id}/{new_trace_id('par')}"
-        span_attrs = {
-            "trace_id": trace_id,
-            "span_id": parallel_span_id,
-            "parent_span_id": ambient.parent_span_id if ambient is not None else "",
-        }
+        if trace_live:
+            span_attrs = {
+                "trace_id": trace_id,
+                "span_id": parallel_span_id,
+                "parent_span_id": ambient.parent_span_id if ambient is not None else "",
+            }
+        row_base = current_row_offset()
         shard_ctxs = [
-            TraceContext(trace_id, parent_span_id=f"{parallel_span_id}/shard{k}")
+            TraceContext(
+                trace_id,
+                parent_span_id=f"{parallel_span_id}/shard{k}",
+                row_offset=row_base + int(bounds[k]),
+            )
             for k in range(num_shards)
         ]
     with obs.tracer.span(
@@ -431,11 +442,14 @@ def parallel_tile_spgemm(
                 # line up even under a test-injected coordinator clock.
                 # Counters stay worker-local: the coordinator records the
                 # merged stats itself (below) and must not double-count.
+                # Workload profiles are the opposite: recorded only
+                # worker-side, so absorbing them here is the one merge.
                 absorb_telemetry(
                     obs.tracer,
                     telemetry,
                     epoch_s=pool_t0 - base,
                     metrics=None,
+                    profile=obs.profile,
                     pid="parallel.workers",
                 )
 

@@ -14,6 +14,14 @@ change misses.  Entries are evicted least-recently-used once ``capacity``
 is exceeded.  The cache is thread-safe (one lock around the table), so
 the sharded parallel engine and :func:`~repro.runtime.parallel.spgemm_batch`
 can share the process-wide instance returned by :func:`get_tile_cache`.
+
+Every lookup also reports to the ambient observability context when one
+is live: ``tilecache_hits_total`` / ``tilecache_misses_total`` /
+``tilecache_evictions_total`` counters plus ``tilecache_resident_bytes``
+and ``tilecache_entries`` gauges land in the
+:class:`~repro.obs.metrics.MetricsRegistry` (Prometheus ``/metrics``,
+``/varz`` and ``python -m repro obs top``), and the same numbers appear
+in workload-profile artifacts via :meth:`TileCache.stats`.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
 from repro.core.tile_matrix import TILE, TileMatrix
+from repro.obs.context import current_obs
 
 __all__ = ["TileCache", "get_tile_cache", "reset_tile_cache", "cached_algorithm"]
 
@@ -66,6 +75,7 @@ class TileCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.resident_bytes = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -84,16 +94,44 @@ class TileCache:
             if cached is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
+                self._export_locked(hit=True)
                 return cached
             self.misses += 1
         tiled = TileMatrix.from_csr(m, tile_size)
         with self._lock:
             if self.capacity > 0 and key not in self._entries:
                 self._entries[key] = tiled
+                self.resident_bytes += tiled.memory_bytes()
                 while len(self._entries) > self.capacity:
-                    self._entries.popitem(last=False)
+                    _, evicted = self._entries.popitem(last=False)
+                    self.resident_bytes -= evicted.memory_bytes()
                     self.evictions += 1
+                    obs = current_obs()
+                    if obs.enabled:
+                        obs.metrics.inc("tilecache_evictions_total")
+            self._export_locked(hit=False)
         return tiled
+
+    def _export_locked(self, hit: bool) -> None:
+        """Report this lookup to the ambient metrics registry (if live).
+
+        Called with the lock held; the registry has its own lock and
+        never calls back into the cache, so the nesting is safe.  The
+        counters are cumulative per lookup (1 hit or 1 miss each call)
+        and the gauges snapshot the table, so Prometheus scrapes see the
+        same numbers :meth:`stats` reports.
+        """
+        obs = current_obs()
+        if not obs.enabled:
+            return
+        metrics = obs.metrics
+        if hit:
+            metrics.inc("tilecache_hits_total")
+        else:
+            metrics.inc("tilecache_misses_total")
+        metrics.set_gauge("tilecache_resident_bytes", self.resident_bytes)
+        metrics.set_gauge("tilecache_entries", len(self._entries))
+        metrics.set_gauge("tilecache_evictions", self.evictions)
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss/eviction counters."""
@@ -102,15 +140,18 @@ class TileCache:
             self.hits = 0
             self.misses = 0
             self.evictions = 0
+            self.resident_bytes = 0
 
     def stats(self) -> Dict[str, int]:
-        """Counters snapshot: ``hits``, ``misses``, ``evictions``, ``size``."""
+        """Counters snapshot: hits, misses, evictions, size, bytes."""
         with self._lock:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "size": len(self._entries),
+                "capacity": self.capacity,
+                "resident_bytes": self.resident_bytes,
             }
 
 

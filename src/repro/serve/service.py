@@ -502,13 +502,12 @@ class SpGEMMService:
         log = self._obs.log
         # Shards travel with the request's trace identity; the worker
         # records real spans locally and ships them back with the result
-        # (None when tracing is off — the bridge then skips the harness).
+        # (None when tracing and profiling are both off — the bridge then
+        # skips the harness).  The shard's start tile row rides along so
+        # worker-side profiles attribute bands in whole-matrix coordinates.
         trace_live = bool(getattr(self._obs.tracer, "enabled", False))
-        shard_ctx = (
-            TraceContext(req.trace_id, parent_span_id=f"req:{req.trace_id}")
-            if trace_live
-            else None
-        )
+        profile_live = bool(getattr(self._obs.profile, "enabled", False))
+        ctx_live = trace_live or profile_live
 
         try:
             while ranges or running:
@@ -519,6 +518,15 @@ class SpGEMMService:
                 while ranges:
                     r0, r1, retries = ranges.popleft()
                     shard = slice_tile_rows(a, r0, r1) if n > 0 else a
+                    shard_ctx = (
+                        TraceContext(
+                            req.trace_id,
+                            parent_span_id=f"req:{req.trace_id}",
+                            row_offset=r0,
+                        )
+                        if ctx_live
+                        else None
+                    )
                     fut = asyncio.ensure_future(
                         self._bridge.run(shard, b, opts, token, shard_ctx)
                     )
@@ -543,6 +551,7 @@ class SpGEMMService:
                             telemetry,
                             epoch_s=self._epoch,
                             metrics=metrics if telemetry else None,
+                            profile=self._obs.profile if telemetry else None,
                             pid="serve.workers",
                         )
                     except ShardCancelled:
@@ -772,7 +781,7 @@ class SpGEMMService:
             labels.get("tenant", ""): value
             for labels, value in metrics.counter_samples("serve_requests_total")
         }
-        return {
+        out: Dict[str, object] = {
             "running": self._running,
             "accepting": self._accepting,
             "uptime_s": (
@@ -790,4 +799,8 @@ class SpGEMMService:
             "requests_total": requests,
             "outcomes_total": outcomes,
             "slo": self.slo.report(),
+            "tilecache": self._cache.stats(),
         }
+        if getattr(self._obs.profile, "enabled", False):
+            out["profile"] = self._obs.profile.summary()
+        return out

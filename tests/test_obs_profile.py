@@ -1,0 +1,404 @@
+"""The workload profiler and the calibration layer on top of it.
+
+Contracts under test:
+
+* recording — one ``tile_spgemm`` run inside a profiling context fills
+  phases, totals, tnnz decisions and tile-row bands;
+* serialisation — the full ``repro.profile/1`` artifact round-trips
+  through plain ``json.dumps`` (no custom ``default=``), and
+  :func:`validate_profile` rejects malformed documents naming the path;
+* merging — worker payloads absorbed across the **spawned** process-pool
+  boundary sum to the serial run's workload byte for byte;
+* calibration — every estimator family exercised through
+  :func:`repro.gpu.estimate_run` shows up in the prediction-error
+  report, drift against a baseline raises
+  :class:`~repro.errors.CalibrationDriftError` (exit code 13), and the
+  report exports to Prometheus gauges and Perfetto counter tracks;
+* tile-cache telemetry — lookups feed the ambient metrics registry;
+* the ``repro obs profile`` / ``obs calibrate`` CLI family.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import multiprocessing
+
+import pytest
+
+from repro.core import TileMatrix, tile_spgemm
+from repro.errors import EXIT_CALIBRATION, CalibrationDriftError, InvalidInputError, exit_code_for
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    WorkloadProfiler,
+    current_row_offset,
+    load_profile,
+    obs_context,
+    profile_row_offset,
+    render_profile,
+    validate_profile,
+    write_profile,
+)
+from repro.obs.profile import NULL_PROFILER
+from repro.runtime.parallel import parallel_tile_spgemm
+from tests.conftest import random_csr
+
+
+def _tiled(n=96, density=0.06, seed=11):
+    return TileMatrix.from_csr(random_csr(n, n, density, seed=seed))
+
+
+def _workload_bytes(profiler: WorkloadProfiler) -> bytes:
+    return json.dumps(profiler.workload(), sort_keys=True).encode()
+
+
+# ------------------------------------------------------------------ record
+class TestRecording:
+    def test_one_run_fills_every_section(self):
+        a = _tiled()
+        profiler = WorkloadProfiler()
+        with obs_context(profile=profiler):
+            result = tile_spgemm(a, a)
+        assert profiler.runs == 1
+        assert set(profiler.phases) >= {"step1", "step2", "step3"}
+        assert profiler.totals["products"] == int(result.stats["num_products"])
+        assert profiler.totals["nnz_c"] == int(result.stats["nnz_c"])
+        assert profiler.bands, "tile-row bands attributed"
+        # Band counts sum back to the totals (no work lost or invented).
+        assert sum(b["products"] for b in profiler.bands.values()) == (
+            profiler.totals["products"]
+        )
+        assert sum(b["nnz_c"] for b in profiler.bands.values()) == (
+            profiler.totals["nnz_c"]
+        )
+        # The tnnz threshold decision was captured.
+        assert profiler.tnnz
+        (decision,) = profiler.tnnz.values()
+        assert decision["sparse_tiles"] + decision["dense_tiles"] == (
+            profiler.totals["num_c_tiles"]
+        )
+
+    def test_disabled_context_records_nothing(self):
+        a = _tiled(n=48)
+        before = NULL_PROFILER.to_payload()
+        tile_spgemm(a, a)  # default ambient context: the null profiler
+        assert before is None and NULL_PROFILER.to_payload() is None
+
+    def test_row_offset_shifts_bands(self):
+        a = _tiled(n=64)
+        base, shifted = WorkloadProfiler(), WorkloadProfiler()
+        with obs_context(profile=base):
+            tile_spgemm(a, a)
+        offset_bands = 3  # 3 bands * 4 tile rows = 12 tile rows
+        with obs_context(profile=shifted):
+            with profile_row_offset(offset_bands * shifted.band_tile_rows):
+                tile_spgemm(a, a)
+        assert current_row_offset() == 0  # restored on exit
+        assert {b + offset_bands for b in base.bands} == set(shifted.bands)
+        for band, counts in base.bands.items():
+            assert shifted.bands[band + offset_bands] == counts
+
+    def test_merge_is_additive(self):
+        a = _tiled(n=80, seed=3)
+        twice, once_a, once_b = (WorkloadProfiler() for _ in range(3))
+        with obs_context(profile=twice):
+            tile_spgemm(a, a)
+            tile_spgemm(a, a)
+        with obs_context(profile=once_a):
+            tile_spgemm(a, a)
+        with obs_context(profile=once_b):
+            tile_spgemm(a, a)
+        once_a.merge(once_b, worker="peer")
+        assert _workload_bytes(once_a) == _workload_bytes(twice)
+        assert once_a.runs == twice.runs == 2
+        assert [s["worker"] for s in once_a.shards] == ["peer"]
+
+    def test_band_width_mismatch_is_rejected(self):
+        wide = WorkloadProfiler(band_tile_rows=8)
+        payload = wide.to_payload()
+        payload["runs"] = 1
+        with pytest.raises(ValueError, match="band width"):
+            WorkloadProfiler(band_tile_rows=4).absorb_payload(payload)
+
+
+# -------------------------------------------------------------- serialise
+class TestArtifact:
+    def test_full_artifact_roundtrips_without_custom_default(self, tmp_path):
+        """Satellite contract: plain ``json.dumps``, no ``default=``."""
+        from repro.gpu import DEVICES, estimate_run
+
+        a_csr = random_csr(96, 96, 0.06, seed=11)
+        profiler = WorkloadProfiler()
+        with obs_context(profile=profiler):
+            from repro.baselines import get_algorithm
+
+            result = get_algorithm("tilespgemm")(a_csr, a_csr)
+            estimate_run(result, DEVICES["rtx3090"])
+        doc = profiler.to_dict()
+        text = json.dumps(doc)  # would raise TypeError on any numpy scalar
+        assert json.loads(text) == doc
+        path = tmp_path / "profile.json"
+        write_profile(doc, path)
+        loaded = load_profile(path)
+        assert loaded == doc
+        assert "workload profile" in render_profile(loaded)
+
+    def test_validate_rejects_bad_documents(self):
+        a = _tiled(n=48)
+        profiler = WorkloadProfiler()
+        with obs_context(profile=profiler):
+            tile_spgemm(a, a)
+        good = profiler.to_dict()
+        validate_profile(good)
+
+        bad = copy.deepcopy(good)
+        bad["schema"] = "repro.profile/999"
+        with pytest.raises(InvalidInputError, match=r"\$\.schema"):
+            validate_profile(bad)
+
+        bad = copy.deepcopy(good)
+        del bad["totals"]["products"]
+        with pytest.raises(InvalidInputError, match=r"\$\.totals\.products"):
+            validate_profile(bad)
+
+        bad = copy.deepcopy(good)
+        bad["bands"][0]["tile_rows"] = [0]
+        with pytest.raises(InvalidInputError, match=r"tile_rows"):
+            validate_profile(bad)
+
+
+# ---------------------------------------------------------------- spawn
+class TestSpawnBoundaryMerge:
+    def test_spawned_pool_profiles_sum_to_serial_byte_for_byte(self):
+        """The satellite contract: profile merge crosses the *spawn*
+        boundary and loses nothing — a spawned worker shares no memory
+        with the coordinator, so the workload arrives purely through the
+        ``WorkerTelemetry.profile`` payload."""
+        a = _tiled(n=128, density=0.05, seed=7)
+        serial = WorkloadProfiler()
+        with obs_context(profile=serial):
+            tile_spgemm(a, a)
+
+        spawn = multiprocessing.get_context("spawn")
+        merged = WorkloadProfiler()
+        with obs_context(profile=merged):
+            parallel_tile_spgemm(
+                a, a, workers=2, shards=3, executor="process", mp_context=spawn
+            )
+        assert merged.runs == 3  # one per shard, absorbed once each
+        assert len(merged.shards) == 3
+        assert all(s["worker"].startswith("worker-pid-") for s in merged.shards)
+        assert _workload_bytes(merged) == _workload_bytes(serial)
+
+    def test_thread_pool_profiles_sum_to_serial(self):
+        a = _tiled(n=96, seed=5)
+        serial, merged = WorkloadProfiler(), WorkloadProfiler()
+        with obs_context(profile=serial):
+            tile_spgemm(a, a)
+        with obs_context(profile=merged):
+            parallel_tile_spgemm(a, a, workers=2, shards=2, executor="thread")
+        assert _workload_bytes(merged) == _workload_bytes(serial)
+
+
+# ------------------------------------------------------------ calibration
+def _profiled_run(methods=("tilespgemm",), devices=("rtx3090",), n=96):
+    from repro.baselines import get_algorithm
+    from repro.gpu import DEVICES, estimate_run
+
+    a_csr = random_csr(n, n, 0.06, seed=11)
+    profiler = WorkloadProfiler()
+    with obs_context(profile=profiler):
+        for method in methods:
+            result = get_algorithm(method)(a_csr, a_csr)
+            for dev in devices:
+                estimate_run(result, DEVICES[dev])
+    return profiler
+
+
+class TestCalibration:
+    def test_every_exercised_family_is_reported(self):
+        from repro.analysis.calibration import calibrate_profile
+        from repro.gpu.costmodel import estimate_family
+
+        methods = ("tilespgemm", "nsparse_hash", "cusparse_spa", "gustavson")
+        profiler = _profiled_run(methods, devices=("rtx3060", "rtx3090"))
+        report = calibrate_profile(profiler.to_dict())
+        expected = {estimate_family(m) for m in methods}
+        assert set(report["families"]) == expected
+        for family, rep in report["families"].items():
+            assert rep["devices"] == ["RTX 3060", "RTX 3090"]
+            assert rep["total"]["samples"] == 2
+            assert rep["total"]["measured_s"] > 0
+            assert rep["total"]["abs_error_s"] >= abs(rep["total"]["bias_s"]) - 1e-12
+        # The TileSpGEMM estimator's kernels line up with the measured
+        # phase timer, so its phase join is non-empty.
+        assert {"step1", "step2", "step3"} <= set(
+            report["families"]["tilespgemm"]["phases"]
+        )
+        assert report["families"]["tilespgemm"]["compression_bands"]
+
+    def test_check_passes_structurally_and_on_stable_baseline(self):
+        from repro.analysis.calibration import calibrate_profile, check_calibration
+
+        report = calibrate_profile(_profiled_run().to_dict())
+        assert check_calibration(report) == []
+        assert check_calibration(report, baseline=copy.deepcopy(report)) == []
+
+    def test_drift_raises_with_exit_code_13(self):
+        from repro.analysis.calibration import calibrate_profile, check_calibration
+
+        report = calibrate_profile(_profiled_run().to_dict())
+        baseline = copy.deepcopy(report)
+        baseline["families"]["tilespgemm"]["total"]["ratio"] = (
+            report["families"]["tilespgemm"]["total"]["ratio"] * 100.0
+        )
+        with pytest.raises(CalibrationDriftError, match="drifted") as err:
+            check_calibration(report, baseline=baseline)
+        assert exit_code_for(err.value) == EXIT_CALIBRATION == 13
+
+    def test_no_samples_is_a_structural_failure(self):
+        from repro.analysis.calibration import calibrate_profile, check_calibration
+
+        empty = WorkloadProfiler().to_dict()
+        report = calibrate_profile(empty)
+        with pytest.raises(CalibrationDriftError, match="no joinable"):
+            check_calibration(report)
+
+    def test_exports_to_gauges_and_counter_tracks(self):
+        from repro.analysis.calibration import (
+            calibrate_profile,
+            calibration_to_metrics,
+            emit_calibration_counters,
+        )
+
+        report = calibrate_profile(_profiled_run().to_dict())
+        registry = MetricsRegistry()
+        calibration_to_metrics(report, registry)
+        samples = registry.gauge_samples("costmodel_bias_seconds")
+        assert {"family": "tilespgemm", "phase": "total"} in [s[0] for s in samples]
+        text = registry.to_prometheus()
+        assert "costmodel_error_ratio" in text
+
+        tracer = Tracer()
+        emit_calibration_counters(report, tracer)
+        counter_names = {e.name for e in tracer.events if e.ph == "C"}
+        assert "costmodel/tilespgemm/bias_s" in counter_names
+
+
+# -------------------------------------------------------------- tilecache
+class TestTileCacheTelemetry:
+    def test_lookups_feed_the_ambient_registry(self):
+        from repro.runtime.tilecache import TileCache
+
+        a = random_csr(64, 64, 0.08, seed=2)
+        b = random_csr(64, 64, 0.08, seed=3)
+        registry = MetricsRegistry()
+        cache = TileCache(capacity=1)
+        with obs_context(metrics=registry):
+            cache.tile(a)  # miss
+            cache.tile(a)  # hit
+            cache.tile(b)  # miss + evicts a
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 2
+        assert cache.stats()["evictions"] == 1
+        assert registry.counter_value("tilecache_hits_total") == 1.0
+        assert registry.counter_value("tilecache_misses_total") == 2.0
+        assert registry.counter_value("tilecache_evictions_total") == 1.0
+        def gauge_value(name):
+            samples = registry.gauge_samples(name)
+            assert samples, name
+            return samples[0][1]
+
+        assert gauge_value("tilecache_entries") == 1.0
+        assert gauge_value("tilecache_evictions") == 1.0
+        assert gauge_value("tilecache_resident_bytes") > 0
+        assert cache.stats()["resident_bytes"] > 0
+
+    def test_disabled_context_exports_nothing(self):
+        from repro.runtime.tilecache import TileCache
+
+        a = random_csr(32, 32, 0.1, seed=4)
+        cache = TileCache()
+        cache.tile(a)
+        cache.tile(a)
+        assert cache.stats()["hits"] == 1  # local counters still work
+
+
+# -------------------------------------------------------------------- CLI
+class TestObsProfileCli:
+    @pytest.fixture(scope="class")
+    def artifact(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("prof") / "profile.json"
+        write_profile(_profiled_run().to_dict(), path)
+        return path
+
+    def test_profile_renders_artifact(self, artifact, capsys):
+        from repro.obs.cli import obs_main
+
+        assert obs_main(["profile", str(artifact), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "workload profile" in out
+        assert "tile-row bands" in out
+
+    def test_profile_json_is_the_artifact(self, artifact, capsys):
+        from repro.obs.cli import obs_main
+
+        assert obs_main(["profile", str(artifact), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc == validate_profile(doc)
+
+    def test_profile_requires_artifact_or_suite(self, capsys):
+        from repro.errors import EXIT_USAGE
+        from repro.obs.cli import obs_main
+
+        assert obs_main(["profile"]) == EXIT_USAGE
+
+    def test_profile_missing_artifact_exit_code(self, tmp_path):
+        from repro.errors import EXIT_FILE_NOT_FOUND
+        from repro.obs.cli import obs_main
+
+        assert obs_main(["profile", str(tmp_path / "no.json")]) == EXIT_FILE_NOT_FOUND
+
+    def test_calibrate_report_check_and_baseline_flow(self, artifact, tmp_path, capsys):
+        from repro.obs.cli import obs_main
+
+        calib = tmp_path / "calib.json"
+        prom = tmp_path / "calib.prom"
+        trace = tmp_path / "calib_trace.json"
+        code = obs_main(
+            [
+                "calibrate", str(artifact),
+                "--out", str(calib),
+                "--metrics", str(prom),
+                "--trace", str(trace),
+                "--check",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cost-model calibration" in out
+        assert "costmodel_bias_seconds" in prom.read_text()
+        trace_doc = json.loads(trace.read_text())
+        events = trace_doc["traceEvents"] if isinstance(trace_doc, dict) else trace_doc
+        assert any(e.get("ph") == "C" for e in events)
+        # The written report gates itself cleanly as a baseline.
+        assert obs_main(
+            ["calibrate", str(artifact), "--check", "--baseline", str(calib)]
+        ) == 0
+
+    def test_calibrate_drift_exits_13(self, artifact, tmp_path, capsys):
+        from repro.analysis.calibration import load_calibration, write_calibration
+        from repro.obs.cli import obs_main
+
+        calib = tmp_path / "baseline.json"
+        assert obs_main(["calibrate", str(artifact), "--out", str(calib)]) == 0
+        capsys.readouterr()
+        doc = load_calibration(calib)
+        doc["families"]["tilespgemm"]["total"]["ratio"] *= 1000.0
+        write_calibration(doc, calib)
+        code = obs_main(
+            ["calibrate", str(artifact), "--check", "--baseline", str(calib)]
+        )
+        assert code == EXIT_CALIBRATION
+        assert "drifted" in capsys.readouterr().err

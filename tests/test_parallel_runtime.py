@@ -333,7 +333,11 @@ class TestTileCache:
         a2 = CSRMatrix(a.shape, a.indptr.copy(), a.indices.copy(), a.val.copy())
         t2 = cache.tile(a2)
         assert t1 is t2
-        assert cache.stats() == {"hits": 1, "misses": 1, "evictions": 0, "size": 1}
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["evictions"] == 0 and stats["size"] == 1
+        assert stats["capacity"] == 4
+        assert stats["resident_bytes"] == t1.memory_bytes()
 
     def test_value_change_misses(self):
         cache = TileCache(capacity=4)
@@ -376,7 +380,14 @@ class TestTileCache:
         cache = TileCache()
         cache.tile(random_csr(32, 32, 0.2, seed=66))
         cache.clear()
-        assert cache.stats() == {"hits": 0, "misses": 0, "evictions": 0, "size": 0}
+        assert cache.stats() == {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "size": 0,
+            "capacity": cache.capacity,
+            "resident_bytes": 0,
+        }
 
     def test_cached_algorithm_tiled_family(self):
         reset_tile_cache()
