@@ -14,8 +14,16 @@ from repro.analysis.bench_compare import (
     classify_samples,
     compare_documents,
     mann_whitney_u,
+    planner_comparison,
     render_attribution,
     render_comparison,
+    render_planner_comparison,
+)
+from repro.analysis.estimate import (
+    MultiplyEstimate,
+    estimate_multiply,
+    row_products,
+    tile_row_products,
 )
 from repro.analysis.calibration import (
     CALIBRATION_SCHEMA,
@@ -77,6 +85,12 @@ __all__ = [
     "load_chrome_trace",
     "mann_whitney_u",
     "measured_breakdown",
+    "MultiplyEstimate",
+    "estimate_multiply",
+    "row_products",
+    "tile_row_products",
+    "planner_comparison",
+    "render_planner_comparison",
     "paper_vs_measured_row",
     "parse_prometheus_text",
     "render_breakdown",

@@ -47,6 +47,8 @@ __all__ = [
     "render_comparison",
     "attribute_regressions",
     "render_attribution",
+    "planner_comparison",
+    "render_planner_comparison",
 ]
 
 #: Relative wall-clock change below which a delta is noise by definition.
@@ -451,6 +453,154 @@ def render_attribution(attributions: List[Dict[str, Any]]) -> str:
                 )
         lines.append(f"  {entry['key']}: " + "; ".join(parts))
     return "\n".join(lines)
+
+
+def planner_comparison(
+    doc: Dict[str, Any],
+    planned_method: str = "tilespgemm_planned",
+    noise_threshold: float = DEFAULT_NOISE_THRESHOLD,
+    alpha: float = DEFAULT_ALPHA,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """The adaptive-planner gate: one document, planned vs every static.
+
+    Unlike :func:`compare_documents` (which matches identical series
+    keys across two documents), this compares the *planned* method's
+    series against every other method's series **within one document**,
+    per ``(matrix, op)``.  For each static configuration it reports the
+    per-matrix speedup ``static_median / planned_median`` and the
+    geometric mean across matrices.
+
+    The gate passes when, against every static configuration, the
+    geomean speedup is >= 1.0 **and** no matrix regresses beyond the
+    noise threshold with Mann-Whitney significance — i.e. the planner
+    is at least as good as any static choice overall and never
+    meaningfully worse on a single input.
+    """
+    from repro.bench.schema import validate_document
+
+    validate_document(doc)
+    planned: Dict[Tuple[str, str], Dict[str, Any]] = {}
+    statics: Dict[str, Dict[Tuple[str, str], Dict[str, Any]]] = {}
+    for series in doc.get("series", []):
+        at = (series["matrix"], series["op"])
+        if series["method"] == planned_method:
+            planned[at] = series
+        else:
+            statics.setdefault(series["method"], {})[at] = series
+    if not planned:
+        raise ValueError(
+            f"document has no {planned_method!r} series — run the "
+            "'planner' bench suite"
+        )
+
+    configs: Dict[str, Dict[str, Any]] = {}
+    all_passed = True
+    for method in sorted(statics):
+        rows: List[Dict[str, Any]] = []
+        regressions: List[str] = []
+        speedups: List[float] = []
+        for at in sorted(planned):
+            static_series = statics[method].get(at)
+            if static_series is None:
+                continue
+            p_samples = planned[at].get("wall_seconds") or []
+            s_samples = static_series.get("wall_seconds") or []
+            if not p_samples or not s_samples:
+                continue
+            # baseline = the static config, current = the planner, so
+            # "regressed" means the planner is slower beyond threshold
+            # *and* the rank test rejects "same distribution".
+            delta = classify_samples(
+                s_samples,
+                p_samples,
+                noise_threshold=noise_threshold,
+                alpha=alpha,
+                seed=seed,
+            )
+            row = {
+                "matrix": at[0],
+                "op": at[1],
+                "static_median_s": delta.baseline_median,
+                "planned_median_s": delta.current_median,
+                "speedup": delta.speedup,
+                "classification": delta.classification,
+                "p_value": delta.p_value,
+                "significant": delta.significant,
+            }
+            rows.append(row)
+            if delta.speedup is not None:
+                speedups.append(delta.speedup)
+            if delta.classification == "regressed" and delta.significant:
+                regressions.append(f"{at[0]}:{at[1]}")
+        geomean = geometric_mean(speedups)
+        passed = geomean >= 1.0 and not regressions
+        configs[method] = {
+            "geomean_speedup": geomean,
+            "rows": rows,
+            "regressions": regressions,
+            "passed": passed,
+        }
+        all_passed = all_passed and passed
+    return {
+        "planned_method": planned_method,
+        "noise_threshold": noise_threshold,
+        "alpha": alpha,
+        "label": doc.get("meta", {}).get("label", ""),
+        "configs": configs,
+        "passed": all_passed,
+    }
+
+
+def render_planner_comparison(report: Dict[str, Any]) -> str:
+    """Human-readable planner-gate report (``bench compare --planner``)."""
+    from repro.analysis.reporting import format_table
+
+    rows = []
+    for method, cfg in sorted(report.get("configs", {}).items()):
+        for row in cfg["rows"]:
+            rows.append(
+                [
+                    f"{row['matrix']}:{row['op']}",
+                    method,
+                    f"{row['static_median_s'] * 1e3:.3f}"
+                    if row["static_median_s"]
+                    else "-",
+                    f"{row['planned_median_s'] * 1e3:.3f}"
+                    if row["planned_median_s"]
+                    else "-",
+                    f"{row['speedup']:.3f}x" if row["speedup"] else "-",
+                    row["classification"]
+                    + ("" if row["significant"] else " (ns)"),
+                ]
+            )
+    text = format_table(
+        ["matrix", "static config", "static ms", "planned ms", "speedup", "verdict"],
+        rows or [["(no matched series)", "", "", "", "", ""]],
+        title=(
+            f"planner gate: {report.get('planned_method')} vs every static "
+            f"configuration (threshold "
+            f"{report.get('noise_threshold', 0.0) * 100:.0f}%)"
+        ),
+    )
+    roll = [
+        [
+            method,
+            f"{cfg['geomean_speedup']:.3f}x",
+            "pass" if cfg["passed"] else "FAIL",
+            ", ".join(cfg["regressions"]) or "-",
+        ]
+        for method, cfg in sorted(report.get("configs", {}).items())
+    ]
+    text += "\n\n" + format_table(
+        ["static config", "geomean speedup", "gate", "regressions"],
+        roll,
+        title="planner vs static rollup (gate: geomean >= 1.0, no regression)",
+    )
+    text += "\n" + (
+        "planner gate: PASS" if report.get("passed") else "planner gate: FAIL"
+    )
+    return text
 
 
 def render_comparison(report: ComparisonReport, verbose: bool = False) -> str:

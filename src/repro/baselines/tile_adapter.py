@@ -13,7 +13,12 @@ Registered methods:
 * ``tilespgemm`` — the serial three-step algorithm;
 * ``tilespgemm_par2`` / ``tilespgemm_par4`` — the sharded engine on a
   2- / 4-worker thread pool (byte-identical output; the parallel scaling
-  suite benchmarks these against the serial method).
+  suite benchmarks these against the serial method);
+* ``tilespgemm_planned`` — the estimation-driven planner
+  (:func:`repro.runtime.planner.plan_execution`) choosing the whole
+  configuration per run; the planning cost is deliberately *inside* the
+  timed region, so the ``planner`` bench suite's comparison against the
+  static methods is honest about overhead.
 """
 
 from __future__ import annotations
@@ -25,7 +30,12 @@ from repro.core.tile_matrix import TILE, TileMatrix
 from repro.core.tilespgemm import tile_spgemm
 from repro.formats.csr import CSRMatrix
 
-__all__ = ["tilespgemm_adapter", "tilespgemm_par2_adapter", "tilespgemm_par4_adapter"]
+__all__ = [
+    "tilespgemm_adapter",
+    "tilespgemm_par2_adapter",
+    "tilespgemm_par4_adapter",
+    "tilespgemm_planned_adapter",
+]
 
 
 def _run_adapter(method: str, engine, a, b, tile_size, a_tiled, b_tiled, kwargs):
@@ -122,3 +132,37 @@ def _make_parallel_adapter(workers: int):
 
 tilespgemm_par2_adapter = _make_parallel_adapter(2)
 tilespgemm_par4_adapter = _make_parallel_adapter(4)
+
+
+@register("tilespgemm_planned")
+def tilespgemm_planned_adapter(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    tile_size: int = TILE,
+    a_tiled: Optional[TileMatrix] = None,
+    b_tiled: Optional[TileMatrix] = None,
+    backend=None,
+    **kwargs,
+) -> SpGEMMResult:
+    """TileSpGEMM under an estimation-driven plan (adaptive execution).
+
+    Derives an :class:`~repro.runtime.planner.ExecutionPlan` per call —
+    worker count, executor, cost-weighted shard boundaries, accumulator
+    threshold, backend — and runs the sharded engine under it.  The
+    planning pass runs inside the timed region so benchmark comparisons
+    charge its cost; the plan lands in ``stats["plan"]`` (and the
+    ambient workload profiler), letting ``obs profile`` attribute wins.
+    """
+    from repro.runtime.parallel import parallel_tile_spgemm
+    from repro.runtime.planner import plan_execution
+
+    if backend is not None:
+        kwargs["backend"] = backend
+
+    def engine(at, bt, **kw):
+        plan = plan_execution(at, bt, backend=kw.get("backend"))
+        return parallel_tile_spgemm(at, bt, plan=plan, **kw)
+
+    return _run_adapter(
+        "tilespgemm_planned", engine, a, b, tile_size, a_tiled, b_tiled, kwargs
+    )

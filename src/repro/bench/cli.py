@@ -5,6 +5,7 @@ interface stays untouched)::
 
     python -m repro bench run --suite ext --out BENCH_PR3.json
     python -m repro bench compare benchmarks/history/seed.json latest.json
+    python -m repro bench compare --planner planner-bench.json
     python -m repro bench gate --candidate latest.json [--soft]
     python -m repro bench report latest.json --roofline
     python -m repro bench report --attribute base_trace.json cur_trace.json
@@ -83,9 +84,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--quiet", action="store_true", help="suppress per-series progress lines")
 
-    compare = sub.add_parser("compare", help="diff two result documents")
+    compare = sub.add_parser(
+        "compare",
+        help="diff two result documents, or gate the planner with --planner",
+    )
     compare.add_argument("baseline", help="baseline document path")
-    compare.add_argument("current", help="current document path")
+    compare.add_argument(
+        "current",
+        nargs="?",
+        default=None,
+        help="current document path (omitted with --planner)",
+    )
     compare.add_argument("--threshold", type=float, default=DEFAULT_NOISE_THRESHOLD)
     compare.add_argument("--alpha", type=float, default=DEFAULT_ALPHA)
     compare.add_argument("--verbose", action="store_true", help="also list unchanged series")
@@ -95,6 +104,21 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="blame each significant regression on a pipeline phase and a "
         "tile-row band using the documents' embedded workload profiles",
+    )
+    compare.add_argument(
+        "--planner",
+        action="store_true",
+        help="planner gate: compare the planned method against every "
+        "static configuration within ONE document (the positional path; "
+        "run the 'planner' suite first); exit 9 unless the planner's "
+        "geomean speedup is >= 1.0 vs every static config with no "
+        "per-matrix regression beyond the noise threshold",
+    )
+    compare.add_argument(
+        "--planned-method",
+        default="tilespgemm_planned",
+        metavar="NAME",
+        help="series method treated as the planner (default tilespgemm_planned)",
     )
 
     gate = sub.add_parser(
@@ -180,6 +204,14 @@ def _cmd_compare(args) -> int:
     )
     from repro.bench.schema import load_document
 
+    if args.planner:
+        return _cmd_compare_planner(args)
+    if args.current is None:
+        print(
+            "error: compare needs two documents (or --planner with one)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
     base = load_document(args.baseline)
     cur = load_document(args.current)
     report = compare_documents(
@@ -216,6 +248,49 @@ def _cmd_compare(args) -> int:
         if attributions is not None:
             print()
             print(render_attribution(attributions))
+    return EXIT_OK
+
+
+def _cmd_compare_planner(args) -> int:
+    from repro.analysis.bench_compare import (
+        planner_comparison,
+        render_planner_comparison,
+    )
+    from repro.bench.schema import load_document
+
+    doc = load_document(args.baseline)
+    try:
+        report = planner_comparison(
+            doc,
+            planned_method=args.planned_method,
+            noise_threshold=args.threshold,
+            alpha=args.alpha,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.json:
+        import json
+
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_planner_comparison(report))
+    if not report["passed"]:
+        from types import SimpleNamespace
+
+        failing = []
+        for method, cfg in sorted(report["configs"].items()):
+            if cfg["passed"]:
+                continue
+            for key in cfg["regressions"] or [f"geomean-vs-{method}"]:
+                failing.append(SimpleNamespace(key=f"{key} (vs {method})"))
+        exc = BenchRegressionError(failing)
+        print(
+            f"error: planner gate failed — {args.planned_method} is not >= "
+            f"every static configuration: {exc}",
+            file=sys.stderr,
+        )
+        return exit_code_for(exc)
     return EXIT_OK
 
 

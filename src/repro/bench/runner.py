@@ -134,6 +134,18 @@ SUITES: Dict[str, SuiteSpec] = {
         _ext_specs,
         methods=("tilespgemm", "tilespgemm_par2", "tilespgemm_par4"),
     ),
+    "planner": SuiteSpec(
+        "planner",
+        "the ext matrices, the estimation-driven planner vs every static "
+        "shard/worker configuration (gate: repro bench compare --planner)",
+        _ext_specs,
+        methods=(
+            "tilespgemm",
+            "tilespgemm_par2",
+            "tilespgemm_par4",
+            "tilespgemm_planned",
+        ),
+    ),
 }
 
 

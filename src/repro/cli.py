@@ -19,6 +19,12 @@ byte-identical to the serial run)::
 
     python -m repro --workers 4 --executor thread path/to/matrix.mtx
 
+the estimation-driven adaptive planner (worker count, cost-weighted
+shard bounds, accumulator threshold — all derived per run; see
+docs/PARALLEL.md)::
+
+    python -m repro --plan auto path/to/matrix.mtx
+
 a pluggable kernel backend (see docs/BACKENDS.md; conformant backends
 are byte-identical, so this changes speed, never output)::
 
@@ -172,6 +178,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="pool kind for --workers; defaults to $REPRO_EXECUTOR, else "
         "'thread'",
+    )
+    parser.add_argument(
+        "--plan",
+        choices=("auto", "static"),
+        default="static",
+        help="'auto' derives an estimation-driven execution plan per run "
+        "(worker count, cost-weighted shard bounds, tnnz threshold, "
+        "backend — see docs/PARALLEL.md) and runs the engine under it; "
+        "'static' (default) keeps the explicit/env configuration",
     )
     parser.add_argument(
         "--backend",
@@ -370,12 +385,37 @@ def _run(args, device, tracer, metrics) -> int:
     else:
         from repro.runtime.parallel import parallel_tile_spgemm, resolve_workers
 
-        workers = resolve_workers(args.workers)
-        if workers > 1:
+        if args.plan == "auto":
+            from repro.runtime.planner import plan_execution
+
+            plan = plan_execution(
+                at,
+                bt,
+                workers=args.workers,
+                executor=args.executor,
+                backend=args.backend,
+            )
+            result = parallel_tile_spgemm(
+                at, bt, plan=plan, budget_bytes=args.memory_budget
+            )
+            say(
+                f"plan: mode={plan.mode} workers={plan.workers} "
+                f"shards={plan.shards} tnnz={plan.tnnz} "
+                f"est_products={plan.estimate.get('products')} "
+                f"band={plan.estimate.get('band')}"
+            )
+            doc["plan"] = plan.to_dict()
+            doc["parallel"] = {
+                "workers": result.stats.get("workers"),
+                "shards": result.stats.get("shards"),
+                "executor": result.stats.get("executor"),
+                "fallback": bool(result.stats.get("parallel_fallback", False)),
+            }
+        elif resolve_workers(args.workers) > 1:
             result = parallel_tile_spgemm(
                 at,
                 bt,
-                workers=workers,
+                workers=resolve_workers(args.workers),
                 executor=args.executor,
                 budget_bytes=args.memory_budget,
             )

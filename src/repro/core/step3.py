@@ -53,10 +53,14 @@ def default_tnnz(tile_size: int) -> int:
     adaptive accumulator and the cost model's sparse/dense prediction
     (:mod:`repro.gpu.costmodel`) agree for every ``tile_size``, not just
     the paper's 16.
+
+    Clamped to ``>= 1``: tile sizes below 2 would otherwise floor to a
+    threshold of 0, silently forcing the dense path for every nonzero
+    tile (``nnz > 0`` is true for any stored tile).
     """
     if tile_size == 16:
         return DEFAULT_TNNZ
-    return (3 * tile_size * tile_size) // 4
+    return max(1, (3 * tile_size * tile_size) // 4)
 
 
 @dataclass

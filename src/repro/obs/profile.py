@@ -161,6 +161,7 @@ class WorkloadProfiler:
         self.tnnz: Dict[str, Dict[str, int]] = {}
         self.shards: List[Dict[str, Any]] = []
         self.calibration: List[Dict[str, Any]] = []
+        self.plans: List[Dict[str, Any]] = []
 
     # ------------------------------------------------------------ recording
     def record_run(self, stats: Dict[str, Any], timer, row_offset: int = 0) -> None:
@@ -271,6 +272,15 @@ class WorkloadProfiler:
             sample["compression"] = products / nnz_c if nnz_c > 0 else 0.0
         self.calibration.append(sample)
 
+    def record_plan(self, plan: Dict[str, Any]) -> None:
+        """Record one :class:`~repro.runtime.planner.ExecutionPlan` dict.
+
+        Called by the parallel engine when it runs under a plan, so the
+        profile artifact can attribute a run's shape (workers, shard
+        boundaries, tnnz, backend) to the planner's decisions.
+        """
+        self.plans.append(to_native(dict(plan)))
+
     # ------------------------------------------------------------ merging
     def to_payload(self) -> Dict[str, Any]:
         """The mergeable state as a plain (picklable, JSON-able) dict.
@@ -287,6 +297,7 @@ class WorkloadProfiler:
                 "totals": dict(self.totals),
                 "tnnz": {k: dict(v) for k, v in self.tnnz.items()},
                 "calibration": list(self.calibration),
+                "plans": list(self.plans),
             }
         )
 
@@ -301,7 +312,11 @@ class WorkloadProfiler:
         """
         if not payload:
             return
-        if not payload.get("runs") and not payload.get("calibration"):
+        if (
+            not payload.get("runs")
+            and not payload.get("calibration")
+            and not payload.get("plans")
+        ):
             return
         if int(payload.get("band_tile_rows", self.band_tile_rows)) != self.band_tile_rows:
             raise ValueError(
@@ -328,6 +343,7 @@ class WorkloadProfiler:
             for key, value in decision.items():
                 mine[key] = mine.get(key, 0) + int(value)
         self.calibration.extend(payload.get("calibration", []))
+        self.plans.extend(payload.get("plans", []))
         if worker:
             self.shards.append(
                 {
@@ -395,6 +411,7 @@ class WorkloadProfiler:
             "bands": self._band_rows(),
             "shards": list(self.shards),
             "calibration": list(self.calibration),
+            "plans": list(self.plans),
         }
         if include_cache:
             from repro.runtime.tilecache import get_tile_cache
@@ -448,6 +465,9 @@ class NullProfiler:
         pass
 
     def record_estimate(self, estimate, family, timer=None, stats=None) -> None:
+        pass
+
+    def record_plan(self, plan) -> None:
         pass
 
     def to_payload(self) -> None:
@@ -536,6 +556,22 @@ def validate_profile(doc: Any) -> Dict[str, Any]:
             _fail("$.cache", "expected an object")
         for key in ("hits", "misses", "evictions", "resident_bytes"):
             _check_number(cache.get(key, 0), f"$.cache.{key}")
+    plans = doc.get("plans")
+    if plans is not None:
+        if not isinstance(plans, list):
+            _fail("$.plans", "expected a list")
+        for i, plan in enumerate(plans):
+            at = f"$.plans[{i}]"
+            if not isinstance(plan, dict):
+                _fail(at, "expected an object")
+            for key in ("mode", "executor", "backend"):
+                if not isinstance(plan.get(key), str) or not plan[key]:
+                    _fail(f"{at}.{key}", "expected a non-empty string")
+            for key in ("workers", "shards", "tnnz"):
+                _check_number(plan.get(key), f"{at}.{key}")
+            bounds = plan.get("bounds")
+            if not isinstance(bounds, list) or len(bounds) < 2:
+                _fail(f"{at}.bounds", "expected a list of >= 2 boundaries")
     return doc
 
 
@@ -626,6 +662,20 @@ def render_profile(doc: Dict[str, Any], top: int = 10) -> str:
             f"evictions, {cache.get('size', 0)} entries "
             f"({cache.get('resident_bytes', 0)} B resident)"
         )
+    plans = doc.get("plans", [])
+    if plans:
+        lines.append("")
+        lines.append(f"execution plans recorded: {len(plans)}")
+        for plan in plans[-max(int(top), 1):]:
+            est = plan.get("estimate", {})
+            lines.append(
+                f"  {plan.get('mode', '?'):<8} workers={plan.get('workers', '?')} "
+                f"executor={plan.get('executor', '?')} "
+                f"shards={plan.get('shards', '?')} tnnz={plan.get('tnnz', '?')} "
+                f"backend={plan.get('backend', '?')} "
+                f"(est {est.get('products', '?')} products, "
+                f"band {est.get('band', '?')})"
+            )
     samples = doc.get("calibration", [])
     if samples:
         families = sorted({s.get("family", "?") for s in samples})

@@ -13,6 +13,11 @@ The production-facing wrapper around the SpGEMM engines:
 * :mod:`repro.runtime.parallel` — sharded execution on a thread or
   process pool (:func:`parallel_tile_spgemm`, :func:`spgemm_batch`),
   byte-identical to serial;
+* :mod:`repro.runtime.planner` — estimation-driven execution planning
+  (:func:`plan_execution` → :class:`ExecutionPlan`): worker count,
+  cost-weighted shard bounds, accumulator threshold and backend derived
+  per run from the row-sampled estimate of
+  :mod:`repro.analysis.estimate`;
 * :mod:`repro.runtime.tilecache` — content-hash-keyed LRU cache of tiled
   operands for repeated multiplies.
 
@@ -52,6 +57,10 @@ __all__ = [
     "slice_tile_rows",
     "batch_bounds",
     "stitch_results",
+    "validate_bounds",
+    "ExecutionPlan",
+    "plan_execution",
+    "weighted_bounds",
     "RetryPolicy",
     "ParallelPolicy",
     "AttemptRecord",
@@ -74,6 +83,10 @@ _LAZY = {
     "slice_tile_rows": "repro.runtime.chunked",
     "batch_bounds": "repro.runtime.chunked",
     "stitch_results": "repro.runtime.chunked",
+    "validate_bounds": "repro.runtime.chunked",
+    "ExecutionPlan": "repro.runtime.planner",
+    "plan_execution": "repro.runtime.planner",
+    "weighted_bounds": "repro.runtime.planner",
     "RetryPolicy": "repro.runtime.policy",
     "ParallelPolicy": "repro.runtime.policy",
     "AttemptRecord": "repro.runtime.policy",

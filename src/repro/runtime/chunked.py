@@ -33,7 +33,13 @@ from repro.obs.profile import current_row_offset, profile_row_offset
 from repro.util.alloc import AllocationTracker
 from repro.util.timing import PhaseTimer
 
-__all__ = ["slice_tile_rows", "batch_bounds", "stitch_results", "chunked_tile_spgemm"]
+__all__ = [
+    "slice_tile_rows",
+    "batch_bounds",
+    "validate_bounds",
+    "stitch_results",
+    "chunked_tile_spgemm",
+]
 
 #: Stats entries that are scalar totals, summed across batches.
 _SCALAR_KEYS = (
@@ -93,11 +99,49 @@ def batch_bounds(num_tile_rows: int, num_batches: int) -> np.ndarray:
     """Tile-row boundaries splitting ``[0, num_tile_rows)`` into
     ``num_batches`` contiguous, near-equal batches.
 
+    Exact integer splitting: with ``base, extra = divmod(rows, batches)``
+    the first ``extra`` batches get ``base + 1`` rows and the rest get
+    ``base``, so sizes differ by at most one and every bound is strictly
+    increasing (a float ``linspace`` truncation would front-load smaller
+    shards and, for ``num_batches > num_tile_rows``, emit duplicate
+    boundaries whose empty shards spawn no-op workers).  ``num_batches``
+    is clamped to ``[1, num_tile_rows]`` for the same reason.
+
     The same boundary rule serves chunked re-execution and the sharded
     parallel engine (:mod:`repro.runtime.parallel`), so a "shard" and a
     "batch" of the same count cover identical tile-row ranges.
     """
-    return np.linspace(0, num_tile_rows, num_batches + 1).astype(np.int64)
+    num_tile_rows = int(num_tile_rows)
+    num_batches = max(1, min(int(num_batches), max(num_tile_rows, 1)))
+    base, extra = divmod(num_tile_rows, num_batches)
+    sizes = np.full(num_batches, base, dtype=np.int64)
+    sizes[:extra] += 1
+    bounds = np.zeros(num_batches + 1, dtype=np.int64)
+    np.cumsum(sizes, out=bounds[1:])
+    return bounds
+
+
+def validate_bounds(bounds: np.ndarray, num_tile_rows: int) -> None:
+    """Reject boundary arrays that would not partition the tile rows.
+
+    Valid bounds start at 0, end at ``num_tile_rows`` and are strictly
+    increasing, so every batch/shard is non-empty and the stitched
+    result covers ``[0, num_tile_rows)`` exactly once.  (Degenerate
+    ``[0, 0]`` is allowed for empty matrices.)
+    """
+    bounds = np.asarray(bounds)
+    if bounds.ndim != 1 or len(bounds) < 2:
+        raise InvalidInputError(f"bounds must be a 1-D array of >= 2 entries, got {bounds!r}")
+    if int(bounds[0]) != 0 or int(bounds[-1]) != int(num_tile_rows):
+        raise InvalidInputError(
+            f"bounds must cover [0, {num_tile_rows}), got "
+            f"[{int(bounds[0])}, {int(bounds[-1])}]"
+        )
+    diffs = np.diff(bounds)
+    if num_tile_rows > 0 and not bool((diffs >= 1).all()):
+        raise InvalidInputError(
+            f"bounds must be strictly increasing (no empty shard), got {bounds.tolist()}"
+        )
 
 
 def chunked_tile_spgemm(
@@ -107,6 +151,7 @@ def chunked_tile_spgemm(
     budget_bytes: Optional[int] = None,
     fault_plan=None,
     keep_empty_tiles: bool = True,
+    bounds: Optional[np.ndarray] = None,
     **kwargs,
 ) -> TileSpGEMMResult:
     """Run TileSpGEMM in ``num_batches`` tile-row batches and stitch ``C``.
@@ -123,6 +168,11 @@ def chunked_tile_spgemm(
         :func:`~repro.runtime.context.execution_context`.
     keep_empty_tiles:
         As for ``tile_spgemm``; applied to the stitched matrix.
+    bounds:
+        Optional explicit tile-row boundaries (e.g. the cost-weighted
+        bounds of an :class:`~repro.runtime.planner.ExecutionPlan`);
+        must start at 0, end at ``a.num_tile_rows`` and be strictly
+        increasing.  Overrides ``num_batches``.
     **kwargs:
         Remaining ``tile_spgemm`` options (``tnnz``, methods, dtype...).
 
@@ -141,7 +191,12 @@ def chunked_tile_spgemm(
             f"B is {b.shape[0]}x{b.shape[1]}"
         )
     num_tile_rows = a.num_tile_rows
-    num_batches = max(1, min(int(num_batches), max(num_tile_rows, 1)))
+    if bounds is not None:
+        bounds = np.asarray(bounds, dtype=np.int64)
+        validate_bounds(bounds, num_tile_rows)
+        num_batches = len(bounds) - 1
+    else:
+        num_batches = max(1, min(int(num_batches), max(num_tile_rows, 1)))
     if num_batches <= 1:
         result = tile_spgemm(
             a,
@@ -155,7 +210,8 @@ def chunked_tile_spgemm(
         return result
 
     obs = current_obs()
-    bounds = batch_bounds(num_tile_rows, num_batches)
+    if bounds is None:
+        bounds = batch_bounds(num_tile_rows, num_batches)
     batch_results: List[TileSpGEMMResult] = []
     with obs.tracer.span(
         "chunked_tile_spgemm", cat="chunked", batches=num_batches

@@ -63,6 +63,8 @@ import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.backend import resolve_backend_name
 from repro.core.tile_matrix import TileMatrix
 from repro.core.tilespgemm import TileSpGEMMResult, _record_obs_metrics, tile_spgemm
@@ -75,7 +77,13 @@ from repro.obs.propagate import (
     new_trace_id,
     run_with_worker_obs,
 )
-from repro.runtime.chunked import batch_bounds, slice_tile_rows, stitch_results
+from repro.runtime.chunked import (
+    batch_bounds,
+    chunked_tile_spgemm,
+    slice_tile_rows,
+    stitch_results,
+    validate_bounds,
+)
 from repro.runtime.policy import ParallelPolicy
 from repro.runtime.tilecache import get_tile_cache
 
@@ -222,6 +230,14 @@ def _run_pair_in_process(pair: Tuple[TileMatrix, TileMatrix]):
     return res
 
 
+def _record_plan(plan_dict: Dict[str, object]) -> None:
+    """Land the plan record in the ambient workload profiler (if live)."""
+    obs = current_obs()
+    profile = getattr(obs, "profile", None)
+    if getattr(profile, "enabled", False):
+        profile.record_plan(plan_dict)
+
+
 # ----------------------------------------------------------------------
 # The engine
 # ----------------------------------------------------------------------
@@ -231,6 +247,7 @@ def parallel_tile_spgemm(
     workers: Optional[int] = None,
     executor: Optional[str] = None,
     shards: Optional[int] = None,
+    plan=None,
     policy: Optional[ParallelPolicy] = None,
     budget_bytes: Optional[int] = None,
     fault_plan=None,
@@ -255,6 +272,15 @@ def parallel_tile_spgemm(
         Number of contiguous tile-row shards (clamped to
         ``a.num_tile_rows``); defaults to ``workers * 2`` so stragglers
         can be balanced.
+    plan:
+        An :class:`~repro.runtime.planner.ExecutionPlan` (duck-typed:
+        ``workers`` / ``executor`` / ``bounds`` / ``tnnz`` / ``backend``
+        / ``to_dict()``).  Fills in every option the caller left
+        ``None`` — including the cost-weighted shard boundaries, used
+        whenever ``shards`` is not given and the plan's bounds match
+        ``a``'s tile rows.  The plan record lands in ``stats["plan"]``
+        and the ambient workload profiler.  Explicit arguments still
+        win.
     policy:
         A :class:`~repro.runtime.policy.ParallelPolicy` governing shard
         retries and the serial fallback (defaults apply when ``None``).
@@ -294,6 +320,24 @@ def parallel_tile_spgemm(
             f"dimension mismatch: A is {a.shape[0]}x{a.shape[1]}, "
             f"B is {b.shape[0]}x{b.shape[1]}"
         )
+    plan_dict: Optional[Dict[str, object]] = None
+    num_tile_rows = a.num_tile_rows
+    plan_bounds: Optional[np.ndarray] = None
+    if plan is not None:
+        # The plan supplies whatever the caller left open; its choices
+        # already honoured the env knobs at planning time.
+        plan_dict = plan.to_dict()
+        if workers is None:
+            workers = plan.workers
+        if executor is None:
+            executor = plan.executor
+        if backend is None:
+            backend = plan.backend
+        if getattr(plan, "tnnz", None) is not None:
+            kwargs.setdefault("tnnz", int(plan.tnnz))
+        if shards is None and len(plan.bounds) >= 2:
+            plan_bounds = np.asarray(plan.bounds, dtype=np.int64)
+            validate_bounds(plan_bounds, num_tile_rows)
     workers = resolve_workers(workers)
     executor = resolve_executor(executor)
     policy = policy or ParallelPolicy()
@@ -303,27 +347,56 @@ def parallel_tile_spgemm(
     backend_name = resolve_backend_name(backend)
     kwargs["backend"] = backend_name
 
-    num_tile_rows = a.num_tile_rows
-    if shards is None:
-        shards = workers * _SHARDS_PER_WORKER
-    num_shards = max(1, min(int(shards), max(num_tile_rows, 1)))
+    explicit_shards = plan_bounds is not None or shards is not None
+    if plan_bounds is not None:
+        num_shards = len(plan_bounds) - 1
+    else:
+        if shards is None:
+            shards = workers * _SHARDS_PER_WORKER
+        num_shards = max(1, min(int(shards), max(num_tile_rows, 1)))
 
     if workers <= 1 or num_shards <= 1:
-        res = tile_spgemm(
-            a,
-            b,
-            keep_empty_tiles=keep_empty_tiles,
-            budget_bytes=budget_bytes,
-            fault_plan=fault_plan,
-            **kwargs,
-        )
-        res.stats.update(shards=1, workers=1, executor="serial")
+        if workers <= 1 and num_shards > 1 and explicit_shards:
+            # One worker but a multi-shard plan: run the shards serially
+            # through the chunked engine.  Sharding pays even without
+            # parallelism — each shard's intermediate arrays are smaller,
+            # so the working set stays cache-resident (the planner's
+            # "chunked" mode) — and the stitched result remains
+            # byte-identical to the monolithic run.
+            res = chunked_tile_spgemm(
+                a,
+                b,
+                bounds=plan_bounds,
+                num_batches=num_shards,
+                keep_empty_tiles=keep_empty_tiles,
+                budget_bytes=budget_bytes,
+                fault_plan=fault_plan,
+                **kwargs,
+            )
+            res.stats.update(shards=num_shards, workers=1, executor="chunked")
+        else:
+            res = tile_spgemm(
+                a,
+                b,
+                keep_empty_tiles=keep_empty_tiles,
+                budget_bytes=budget_bytes,
+                fault_plan=fault_plan,
+                **kwargs,
+            )
+            res.stats.update(shards=1, workers=1, executor="serial")
+        if plan_dict is not None:
+            res.stats["plan"] = plan_dict
+            _record_plan(plan_dict)
         return res
 
     opts = dict(kwargs)
     opts["budget_bytes"] = budget_bytes
     opts["fault_plan"] = fault_plan
-    bounds = batch_bounds(num_tile_rows, num_shards)
+    bounds = (
+        plan_bounds
+        if plan_bounds is not None
+        else batch_bounds(num_tile_rows, num_shards)
+    )
     shard_inputs = [
         slice_tile_rows(a, int(bounds[k]), int(bounds[k + 1]))
         for k in range(num_shards)
@@ -411,6 +484,9 @@ def parallel_tile_spgemm(
             res.stats.update(
                 shards=1, workers=1, executor="serial", parallel_fallback=True
             )
+            if plan_dict is not None:
+                res.stats["plan"] = plan_dict
+                _record_plan(plan_dict)
             return res
 
         if obs.enabled:
@@ -459,6 +535,9 @@ def parallel_tile_spgemm(
     merged.stats.update(
         shards=num_shards, workers=workers, executor=executor, backend=backend_name
     )
+    if plan_dict is not None:
+        merged.stats["plan"] = plan_dict
+        _record_plan(plan_dict)
     if obs.enabled:
         obs.metrics.inc("parallel_runs_total", executor=executor)
         obs.metrics.inc("parallel_shards_total", num_shards)

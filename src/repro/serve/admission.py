@@ -25,14 +25,20 @@ work, so admission never converts or multiplies anything.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
 from repro.errors import ServiceOverloadError
 
 __all__ = ["CostEstimate", "AdmissionController", "estimate_cost"]
+
+#: Safety margin applied to the *estimated* (row-sampled) nnz(C) when a
+#: calibration baseline licenses estimates over upper bounds; the result
+#: is still capped by the exact bound.
+_CALIBRATED_MARGIN = 1.5
 
 #: Bytes charged per intermediate product in the output bound: an 8-byte
 #: value plus a 4-byte index, the CSR-side price of one kept nonzero.
@@ -110,6 +116,13 @@ def estimate_cost(a, b) -> CostEstimate:
 class AdmissionController:
     """The shed decision: queue depth and memory-estimate gates.
 
+    The memory gate accounts for *concurrency*: each admitted request
+    reserves its priced bytes until the service releases them at the
+    request's terminal response, and the gate sheds when the aggregate
+    of in-flight reservations plus the new request would exceed the
+    budget.  Pricing each request in isolation would let concurrent
+    admitted requests jointly blow ``budget_bytes``.
+
     Parameters
     ----------
     max_queue_depth:
@@ -124,6 +137,14 @@ class AdmissionController:
         requests whose *bound* exceeds the budget as long as chunking
         has a chance.  ``1.0`` (default) sheds anything whose bound does
         not fit outright.
+    calibration:
+        Optional loaded ``repro.calibration/1`` report.  Its presence
+        means the cost model has been validated against measured runs on
+        this machine, which licenses :meth:`price` to charge the
+        OCEAN-style row-sampled nnz(C) *estimate* (times a safety
+        margin, capped at the exact bound) instead of the worst-case
+        upper bound — admitting more of the requests that would in fact
+        have fit.
     """
 
     def __init__(
@@ -131,6 +152,7 @@ class AdmissionController:
         max_queue_depth: int,
         budget_bytes: Optional[int] = None,
         headroom: float = 1.0,
+        calibration: Optional[Dict[str, Any]] = None,
     ) -> None:
         if max_queue_depth < 1:
             raise ValueError(f"max_queue_depth must be >= 1, got {max_queue_depth}")
@@ -139,12 +161,47 @@ class AdmissionController:
         self.max_queue_depth = int(max_queue_depth)
         self.budget_bytes = None if budget_bytes is None else int(budget_bytes)
         self.headroom = float(headroom)
+        self.calibration = calibration
+        self._inflight_bytes = 0
+        self._lock = threading.Lock()
+
+    @property
+    def inflight_bytes(self) -> int:
+        """Bytes currently reserved by admitted, unfinished requests."""
+        with self._lock:
+            return self._inflight_bytes
+
+    def price(self, a, b) -> CostEstimate:
+        """Price ``a @ b`` for admission.
+
+        Without a calibration baseline this is exactly
+        :func:`estimate_cost` (sound upper bounds).  With one, the
+        output charge becomes the row-sampled nnz(C) estimate of
+        :func:`repro.analysis.estimate.estimate_multiply` times a
+        safety margin — still capped by the exact upper bound, so the
+        charge never grows, only tightens.
+        """
+        est = estimate_cost(a, b)
+        if not self.calibration:
+            return est
+        from repro.analysis.estimate import estimate_multiply
+
+        sampled = estimate_multiply(a, b)
+        calibrated = int(sampled.est_nnz_c * _CALIBRATED_MARGIN) * _BYTES_PER_PRODUCT
+        return CostEstimate(
+            products=est.products,
+            flops=est.flops,
+            operand_bytes=est.operand_bytes,
+            c_upper_bytes=min(est.c_upper_bytes, calibrated),
+        )
 
     def check_memory(self, estimate: CostEstimate) -> None:
         """Shed when the upfront estimate cannot fit the device budget.
 
         Waiting cannot fix an oversized request, so this gate fires
-        regardless of the submitter's backpressure mode.
+        regardless of the submitter's backpressure mode.  Checks the
+        single request against the limit only; :meth:`admit_memory` adds
+        the aggregate in-flight gate and the reservation.
         """
         if self.budget_bytes is None:
             return
@@ -156,6 +213,40 @@ class AdmissionController:
                 f"(operands {estimate.operand_bytes} B + output bound "
                 f"{estimate.c_upper_bytes} B) exceeds {limit} B",
             )
+
+    def admit_memory(self, estimate: CostEstimate) -> int:
+        """Admit one request against the budget *and* the in-flight total.
+
+        Returns the reserved byte count the caller must hand back to
+        :meth:`release_memory` exactly once, at the request's terminal
+        response.  Sheds with reason ``memory_estimate`` when the
+        request alone cannot fit, ``memory_inflight`` when it would push
+        the aggregate of admitted requests past the limit (waiting *can*
+        fix that one, but blocking submission risks deadlocking the
+        backpressure path, so the service sheds and lets the client
+        retry).
+        """
+        self.check_memory(estimate)
+        if self.budget_bytes is None:
+            return 0
+        limit = int(self.budget_bytes * self.headroom)
+        nbytes = int(estimate.total_bytes)
+        with self._lock:
+            if self._inflight_bytes + nbytes > limit:
+                raise ServiceOverloadError(
+                    "memory_inflight",
+                    f"admitting {nbytes} B on top of {self._inflight_bytes} B "
+                    f"already in flight would exceed {limit} B",
+                )
+            self._inflight_bytes += nbytes
+        return nbytes
+
+    def release_memory(self, nbytes: int) -> None:
+        """Return an :meth:`admit_memory` reservation (request finished)."""
+        if nbytes <= 0:
+            return
+        with self._lock:
+            self._inflight_bytes = max(0, self._inflight_bytes - int(nbytes))
 
     def check_depth(self, depth: int) -> None:
         """Shed when the queue is at its bound."""

@@ -93,6 +93,10 @@ class ServeRequest:
         The propagated trace identity assigned at submission; every
         span, worker-side shard span and structured-log event of this
         request carries it.
+    admitted_bytes:
+        Bytes this request reserved against the admission controller's
+        aggregate in-flight gate; released exactly once at the terminal
+        response (0 = no reservation held).
     submitted_s:
         Service-clock timestamp of admission.
     done:
@@ -114,6 +118,7 @@ class ServeRequest:
     budget_bytes: Optional[int] = None
     fault_plan: Optional[object] = None
     trace_id: str = ""
+    admitted_bytes: int = 0
     submitted_s: float = 0.0
     done: Optional["asyncio.Future"] = field(default=None, repr=False)
     order_prev: Optional["asyncio.Future"] = field(default=None, repr=False)

@@ -67,7 +67,7 @@ from repro.obs.slo import SLOPolicy, SLOTracker
 from repro.runtime.chunked import batch_bounds, slice_tile_rows, stitch_results
 from repro.runtime.policy import ParallelPolicy, RetryPolicy, backoff_wait
 from repro.runtime.tilecache import get_tile_cache
-from repro.serve.admission import AdmissionController, estimate_cost
+from repro.serve.admission import AdmissionController
 from repro.serve.deadline import CancelToken, Deadline, ShardCancelled
 from repro.serve.queue import BoundedRequestQueue
 from repro.serve.request import (
@@ -117,7 +117,15 @@ class SpGEMMService:
         The memory gate (see
         :class:`~repro.serve.admission.AdmissionController`).  Budget
         defaults to the device's DRAM capacity; ``None`` with no device
-        disables the gate.
+        disables the gate.  Admitted requests reserve their priced
+        bytes until their terminal response, and the gate sheds on the
+        *aggregate*, so concurrent requests cannot jointly blow the
+        budget.
+    calibration:
+        Optional loaded ``repro.calibration/1`` report; when present,
+        admission prices requests from the row-sampled nnz(C) estimate
+        (capped at the exact upper bound) instead of the worst-case
+        bound alone.
     default_deadline_s, default_budget_bytes:
         Applied to requests that do not carry their own.
     initial_shards:
@@ -172,6 +180,7 @@ class SpGEMMService:
         device=None,
         admission_budget_bytes: Optional[int] = None,
         admission_headroom: float = 1.0,
+        calibration: Optional[Dict[str, object]] = None,
         default_deadline_s: Optional[float] = None,
         default_budget_bytes: Optional[int] = None,
         initial_shards: int = 1,
@@ -197,7 +206,10 @@ class SpGEMMService:
             default_budget_bytes = device.dram_capacity_bytes
         self.device = device
         self._admission = AdmissionController(
-            max_queue_depth, admission_budget_bytes, admission_headroom
+            max_queue_depth,
+            admission_budget_bytes,
+            admission_headroom,
+            calibration=calibration,
         )
         self._queue = BoundedRequestQueue(max_queue_depth)
         self._bridge = WorkerBridge(
@@ -356,10 +368,15 @@ class SpGEMMService:
             budget_bytes=req.budget_bytes,
         )
 
-        # Admission gate 1: the memory estimate.  Waiting cannot shrink
-        # an oversized request, so this sheds in either backpressure mode.
+        # Admission gate 1: the memory estimate — this request alone,
+        # and the aggregate of everything already admitted (reserved
+        # bytes are released at the terminal response).  Waiting cannot
+        # shrink an oversized request, so this sheds in either
+        # backpressure mode.
         try:
-            self._admission.check_memory(estimate_cost(a_t, b_t))
+            req.admitted_bytes = self._admission.admit_memory(
+                self._admission.price(a_t, b_t)
+            )
         except ServiceOverloadError as exc:
             return self._finish_shed(req, exc, queued=False)
 
@@ -444,6 +461,7 @@ class SpGEMMService:
             wrapped.__cause__ = exc
             outcome, error, c = outcome_for(wrapped), wrapped, None
         finally:
+            self._release_admitted(req)
             self._queue.task_done()
 
         now = self._clock()
@@ -637,11 +655,18 @@ class SpGEMMService:
         return merged.c
 
     # ------------------------------------------------------------ accounting
+    def _release_admitted(self, req: ServeRequest) -> None:
+        """Return the request's admission reservation (idempotent)."""
+        if req.admitted_bytes:
+            self._admission.release_memory(req.admitted_bytes)
+            req.admitted_bytes = 0
+
     def _finish_shed(
         self, req: ServeRequest, exc: ServiceOverloadError, queued: bool
     ) -> ServeResponse:
         """Terminal shed response (admission or shutdown), delivered
         immediately — failing fast is the backpressure signal."""
+        self._release_admitted(req)
         now = self._clock()
         resp = ServeResponse(
             tenant=req.tenant,
@@ -796,6 +821,12 @@ class SpGEMMService:
                 "high_water": self._queue.high_water,
             },
             "inflight": len(self._inflight),
+            "admission": {
+                "budget_bytes": self._admission.budget_bytes,
+                "headroom": self._admission.headroom,
+                "inflight_bytes": self._admission.inflight_bytes,
+                "calibrated": bool(self._admission.calibration),
+            },
             "requests_total": requests,
             "outcomes_total": outcomes,
             "slo": self.slo.report(),

@@ -414,3 +414,103 @@ class TestParallelAdapters:
         assert got.method == method
         assert ref.c.allclose(got.c)
         assert np.array_equal(ref.c.val, got.c.val)
+
+
+class TestPlanner:
+    """The estimation-driven planner: bounds geometry and determinism."""
+
+    def test_batch_bounds_property_sweep(self):
+        # Exact divmod splitting: for every (rows, batches) up to 64 the
+        # bounds cover [0, rows] contiguously, are strictly increasing,
+        # and shard sizes differ by at most one (no linspace truncation).
+        for rows in range(65):
+            for batches in range(1, 65):
+                bounds = batch_bounds(rows, batches)
+                assert bounds[0] == 0 and bounds[-1] == rows, (rows, batches)
+                assert len(bounds) == min(batches, max(rows, 1)) + 1
+                sizes = np.diff(bounds)
+                if rows:
+                    assert np.all(sizes >= 1), (rows, batches)
+                    assert sizes.max() - sizes.min() <= 1, (rows, batches)
+
+    def test_validate_bounds_rejects_bad_shapes(self):
+        from repro.runtime.chunked import validate_bounds
+
+        validate_bounds(np.array([0, 3, 7]), 7)
+        for bad in ([1, 7], [0, 5], [0, 4, 4, 7], [0, 5, 3, 7], [0]):
+            with pytest.raises(InvalidInputError):
+                validate_bounds(np.array(bad), 7)
+
+    def test_weighted_bounds_cover_with_no_empty_shard(self):
+        from repro.runtime.planner import weighted_bounds
+
+        rng = np.random.default_rng(7)
+        for n in (1, 2, 5, 17, 64):
+            for shards in (1, 2, 3, 8, 64):
+                for weights in (
+                    rng.random(n),
+                    np.zeros(n),
+                    np.eye(1, n, 0).ravel() * 100.0,  # one-row spike
+                ):
+                    bounds = weighted_bounds(weights, shards)
+                    assert bounds[0] == 0 and bounds[-1] == n
+                    assert np.all(np.diff(bounds) >= 1)
+
+    def test_planned_bounds_cover_exactly(self, operands):
+        from repro.runtime.planner import plan_execution
+
+        a, b = operands
+        plan = plan_execution(a, b, workers=3)
+        assert plan.bounds[0] == 0
+        assert plan.bounds[-1] == a.num_tile_rows
+        assert np.all(np.diff(plan.bounds) >= 1)
+        assert plan.shards == len(plan.bounds) - 1
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_planned_parallel_byte_identical(self, operands, executor):
+        from repro.runtime.planner import plan_execution
+
+        a, b = operands
+        plan = plan_execution(a, b, workers=2, executor=executor)
+        assert plan.mode == "parallel"
+        res = parallel_tile_spgemm(a, b, plan=plan)
+        ref = tile_spgemm(a, b, tnnz=plan.tnnz)
+        assert_bytes_identical(ref.c, res.c)
+        assert res.stats["plan"]["mode"] == "parallel"
+
+    def test_planned_chunked_byte_identical(self, operands):
+        # A multi-shard plan on one worker runs through the chunked
+        # engine — still byte-identical to the monolithic serial run.
+        from repro.runtime.planner import plan_execution
+
+        a, b = operands
+        plan = plan_execution(a, b, shard_products=10_000)
+        assert plan.mode == "chunked"
+        assert plan.workers == 1 and plan.shards > 1
+        res = parallel_tile_spgemm(a, b, plan=plan)
+        ref = tile_spgemm(a, b, tnnz=plan.tnnz)
+        assert_bytes_identical(ref.c, res.c)
+        assert res.stats["executor"] == "chunked"
+
+    def test_plan_is_deterministic(self, operands):
+        from repro.runtime.planner import plan_execution
+
+        a, b = operands
+        cache_stats = {"hits": 0, "misses": 0}
+        p1 = plan_execution(a, b, cache_stats=cache_stats)
+        p2 = plan_execution(a, b, cache_stats=cache_stats)
+        assert p1.to_dict() == p2.to_dict()
+
+    def test_plan_recorded_in_profiler(self, operands):
+        from repro.obs.profile import WorkloadProfiler, validate_profile
+        from repro.runtime.planner import plan_execution
+
+        a, b = operands
+        plan = plan_execution(a, b, workers=2)
+        profiler = WorkloadProfiler()
+        with obs_context(profile=profiler):
+            parallel_tile_spgemm(a, b, plan=plan)
+        doc = profiler.to_dict()
+        assert doc["plans"], "plan record missing from the profiler"
+        assert doc["plans"][0]["mode"] == plan.mode
+        validate_profile(doc)
