@@ -1,6 +1,6 @@
 """Extension bench: kernel backends through the bench runner.
 
-Three questions about :mod:`repro.backend`:
+Four questions about :mod:`repro.backend`:
 
 1. What does each backend cost?  The smoke suite runs once per timed
    backend through :class:`repro.bench.runner.BenchRunner` with
@@ -14,6 +14,13 @@ Three questions about :mod:`repro.backend`:
    gated — the oracle is meant to be slow, and the optional accelerated
    backend's margin depends on the host; the regression gate stays on
    the default backend's suite.
+4. Are the tier-2 (fast-math) backends worth it?  ``fragment`` (and
+   ``numba-par`` when numba is importable) are timed through the same
+   runner, but verified to the tier-2 contract first: structure
+   byte-identical to numpy, values within the declared tolerance.
+   When both numba backends are present, the parallel fast-math variant
+   must beat the sequential exact one (geomean > 1x across the smoke
+   suite) — that is the bargain the tier buys.
 
 Writes ``benchmarks/results/ext_backends.{txt,json}``; the JSON is one
 ``repro.bench/1`` document whose series carry a ``backend`` tag in
@@ -22,18 +29,35 @@ Writes ``benchmarks/results/ext_backends.{txt,json}``; the JSON is one
 
 import time
 
+import numpy as np
 import pytest
 
 from benchmarks.conftest import RESULTS_DIR, save_and_print
 from repro.analysis import format_table
-from repro.backend import backend_available, get_backend
+from repro.analysis.ulp import accumulation_scale, conformance_report
+from repro.backend import (
+    ConformanceTier,
+    backend_available,
+    backend_tier,
+    backend_tolerance,
+    get_backend,
+)
 from repro.bench import schema
 from repro.bench.runner import SUITES, BenchConfig, BenchRunner
 from repro.core import TileMatrix, tile_spgemm
 
 #: Backends timed through the full bench runner.  ``pyloops`` is not in
 #: this list: it is the differential oracle, timed one-shot below.
-TIMED_BACKENDS = ["numpy"] + (["numba"] if backend_available("numba") else [])
+#: Tier-2 backends join the timed set but are conformance-checked
+#: (structure bytes + value tolerance) before their numbers count.
+TIMED_BACKENDS = (
+    ["numpy"]
+    + (["numba", "numba-par"] if backend_available("numba") else [])
+    + ["fragment"]
+)
+TIER2_BACKENDS = [
+    n for n in TIMED_BACKENDS if backend_tier(n) is ConformanceTier.FAST_MATH
+]
 
 #: Repeats for the runner-timed backends; the oracle runs once.
 REPEATS = 3
@@ -94,6 +118,24 @@ def oracle_rows():
     return rows
 
 
+@pytest.fixture(scope="module")
+def tier2_reports():
+    """Tier-2 conformance reports on the smoke matrices: structure must
+    be byte-identical and values in tolerance *before* any tier-2
+    timing is trusted."""
+    reports = {}
+    for backend in TIER2_BACKENDS:
+        tol = backend_tolerance(backend)
+        per_matrix = {}
+        for name, a in _smoke_operands().items():
+            ref = tile_spgemm(a, a, backend="numpy")
+            got = tile_spgemm(a, a, backend=backend)
+            scale = accumulation_scale(a, a, ref.c)
+            per_matrix[name] = conformance_report(ref.c, got.c, tol, scale=scale)
+        reports[backend] = per_matrix
+    return reports
+
+
 def _tile_series(doc, backend):
     """The document's tilespgemm series, re-keyed per backend (series
     keys are unique within a document, so the combined comparison doc
@@ -104,6 +146,7 @@ def _tile_series(doc, backend):
             continue
         extra = dict(s.get("extra", {}))
         extra["backend"] = backend
+        extra["backend_tier"] = backend_tier(backend).value
         method = f"tilespgemm@{backend}"
         out.append(
             {
@@ -116,7 +159,12 @@ def _tile_series(doc, backend):
     return out
 
 
-def test_backend_comparison_report(benchmark, backend_docs, oracle_rows):
+def test_backend_comparison_report(
+    benchmark, backend_docs, oracle_rows, tier2_reports
+):
+    for backend, per_matrix in tier2_reports.items():
+        for matrix, rep in per_matrix.items():
+            assert rep["ok"], (backend, matrix, rep)
     numpy_doc = backend_docs["numpy"]
     base = {
         s["matrix"]: min(s["wall_seconds"])
@@ -131,8 +179,10 @@ def test_backend_comparison_report(benchmark, backend_docs, oracle_rows):
                 continue
             best = min(s["wall_seconds"])
             ratio = base[s["matrix"]] / best if best else 0.0
+            tier = backend_tier(name).value
+            path = "runner" if tier == "exact" else "runner (tier-2, verified)"
             rows.append(
-                [s["matrix"], name, f"{best * 1e3:.2f}", f"{ratio:.2f}x", "runner"]
+                [s["matrix"], name, f"{best * 1e3:.2f}", f"{ratio:.2f}x", path]
             )
     for matrix, row in oracle_rows.items():
         ratio = base[matrix] / row["oracle_s"] if row["oracle_s"] else 0.0
@@ -195,3 +245,39 @@ def test_shape_oracle_agrees_everywhere(oracle_rows):
     for matrix, row in oracle_rows.items():
         assert row["identical"], matrix
         assert row["oracle_s"] > 0, matrix
+
+
+def test_shape_tier2_backends_conformant(tier2_reports):
+    """Every timed tier-2 backend passed the conformance check on every
+    smoke matrix — structure bytes identical, values within tolerance."""
+    assert set(tier2_reports) == set(TIER2_BACKENDS)
+    for backend, per_matrix in tier2_reports.items():
+        assert per_matrix
+        for matrix, rep in per_matrix.items():
+            assert rep["structure_identical"], (backend, matrix)
+            assert rep["values"]["within"], (backend, matrix, rep["values"])
+
+
+@pytest.mark.skipif(
+    not backend_available("numba"),
+    reason="numba not importable: the numba-par vs numba race needs both",
+)
+def test_numba_par_beats_sequential_numba(backend_docs):
+    """The fast-math bargain, gated only when numba is present: the
+    prange+fastmath variant must beat sequential numba with geomean > 1x
+    across the smoke suite (best-of-repeats per matrix)."""
+    seq = {
+        s["matrix"]: min(s["wall_seconds"])
+        for s in backend_docs["numba"]["series"]
+        if s["method"] == "tilespgemm"
+    }
+    par = {
+        s["matrix"]: min(s["wall_seconds"])
+        for s in backend_docs["numba-par"]["series"]
+        if s["method"] == "tilespgemm"
+    }
+    assert set(seq) == set(par) and seq
+    ratios = [seq[m] / par[m] for m in seq if par[m] > 0]
+    geomean = float(np.exp(np.mean(np.log(ratios))))
+    print(f"[numba-par vs numba geomean: {geomean:.2f}x]")
+    assert geomean > 1.0, ratios

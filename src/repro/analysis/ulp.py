@@ -1,0 +1,248 @@
+"""ULP / relative-error comparison for tier-2 backend conformance.
+
+The fast-math conformance tier (:mod:`repro.backend.base`) keeps result
+*structure* byte-identical but lets values drift within a declared
+:class:`~repro.backend.base.ValueTolerance`.  This module is the
+yardstick: a float comparator that measures error three ways — ULP
+distance, absolute, and relative to an *accumulation scale* — and emits
+a machine-readable per-array report the conformance harness aggregates
+into its JSON artifact.
+
+Why a scale term: reordering a float64 summation of ``n`` products
+perturbs the result by up to ``~n·eps·Σ|products|`` — an error bounded
+relative to the sum of *magnitudes*, not to the output value.  Under
+catastrophic cancellation the output can be arbitrarily smaller than
+``Σ|products|``, so plain relative error (and plain ULP distance) is
+unbounded there no matter how good the backend is.
+:func:`accumulation_scale` computes ``(|A| @ |B|)`` at each stored
+output coordinate, which is exactly ``Σ|products|`` for that element;
+passing it as ``scale`` makes the tolerance meaningful on the
+cancellation corpus cases without loosening it anywhere else.
+
+Non-finite values never pass by tolerance: a NaN/Inf element passes
+only if its bit pattern matches the reference exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.backend.base import ValueTolerance
+
+__all__ = [
+    "STRUCTURE_ARRAYS",
+    "VALUE_ARRAY",
+    "ValueComparison",
+    "ulp_diff",
+    "compare_values",
+    "accumulation_scale",
+    "conformance_report",
+]
+
+#: The TileMatrix arrays that must stay byte-identical in *both* tiers
+#: (the dense/sparse accumulator split is observable through rowptr and
+#: the local index layout, so it is covered by these).
+STRUCTURE_ARRAYS = (
+    "tileptr",
+    "tilecolidx",
+    "tilennz",
+    "rowptr",
+    "rowidx",
+    "colidx",
+    "mask",
+)
+
+#: The one array tier 2 judges by tolerance instead of bytes.
+VALUE_ARRAY = "val"
+
+#: ULP distance reported for a non-finite / sign mismatch (and the cap
+#: for astronomically distant finite pairs): far beyond any sane bound.
+_ULP_HUGE = np.int64(1) << 62
+
+
+def _lexical_order(values: np.ndarray) -> np.ndarray:
+    """Map float64 bit patterns onto a monotonically ordered int64 axis.
+
+    Adjacent representable floats map to adjacent integers, so the
+    difference of two mapped values *is* their ULP distance.  Negative
+    floats (sign bit set) order in reverse of their magnitude bits,
+    hence the reflection.
+    """
+    bits = np.ascontiguousarray(values, dtype=np.float64).view(np.int64)
+    return np.where(bits < 0, -(bits & np.int64(0x7FFFFFFFFFFFFFFF)), bits)
+
+
+def ulp_diff(ref: np.ndarray, got: np.ndarray) -> np.ndarray:
+    """Elementwise ULP distance between two float64 arrays.
+
+    Bit-identical elements (including NaN with the same payload) report
+    0.  Pairs where exactly one side is non-finite, or NaNs with
+    different patterns, report the :data:`_ULP_HUGE` sentinel — they
+    can never pass a ULP threshold.  Distances are clamped to the
+    sentinel, so the return value always fits int64 without overflow.
+    """
+    r = np.asarray(ref, dtype=np.float64)
+    g = np.asarray(got, dtype=np.float64)
+    lex_r = np.clip(_lexical_order(r), -_ULP_HUGE, _ULP_HUGE)
+    lex_g = np.clip(_lexical_order(g), -_ULP_HUGE, _ULP_HUGE)
+    d = np.abs(lex_r - lex_g)
+    bit_equal = r.view(np.int64) == g.view(np.int64)
+    unordered = ~(np.isfinite(r) & np.isfinite(g))
+    d = np.where(unordered, _ULP_HUGE, np.minimum(d, _ULP_HUGE))
+    return np.where(bit_equal, np.int64(0), d)
+
+
+@dataclass
+class ValueComparison:
+    """Machine-readable verdict of one value-array comparison."""
+
+    size: int
+    bit_mismatches: int  #: elements whose bit patterns differ at all
+    failures: int  #: elements outside the declared tolerance
+    max_ulp: int
+    mean_ulp: float
+    max_abs: float
+    max_rel: float  #: worst |got-ref| / max(|ref|, scale)
+    worst_index: int  #: flat index of the largest-ULP element (-1 if none)
+    tolerance: Dict[str, float] = field(default_factory=dict)
+    within: bool = True
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "size": self.size,
+            "bit_mismatches": self.bit_mismatches,
+            "failures": self.failures,
+            "max_ulp": self.max_ulp,
+            "mean_ulp": self.mean_ulp,
+            "max_abs": self.max_abs,
+            "max_rel": self.max_rel,
+            "worst_index": self.worst_index,
+            "tolerance": dict(self.tolerance),
+            "within": self.within,
+        }
+
+
+def compare_values(
+    ref: np.ndarray,
+    got: np.ndarray,
+    tolerance: ValueTolerance,
+    scale: Optional[np.ndarray] = None,
+) -> ValueComparison:
+    """Judge ``got`` against ``ref`` under a declared tolerance.
+
+    An element passes when its bit pattern matches, its ULP distance is
+    at most ``tolerance.max_ulp``, or ``|got-ref| <= atol + rtol *
+    max(|ref|, scale)`` — ``scale`` being the per-element accumulation
+    magnitude from :func:`accumulation_scale` (broadcastable; omitted
+    means the plain relative test).  Shape mismatches fail wholesale.
+    """
+    r = np.asarray(ref, dtype=np.float64).reshape(-1)
+    g = np.asarray(got, dtype=np.float64).reshape(-1)
+    tol_dict = tolerance.to_dict()
+    if r.shape != g.shape:
+        return ValueComparison(
+            size=int(r.size),
+            bit_mismatches=int(r.size),
+            failures=int(max(r.size, g.size, 1)),
+            max_ulp=int(_ULP_HUGE),
+            mean_ulp=float("inf"),
+            max_abs=float("inf"),
+            max_rel=float("inf"),
+            worst_index=-1,
+            tolerance=tol_dict,
+            within=False,
+        )
+    if r.size == 0:
+        return ValueComparison(
+            size=0, bit_mismatches=0, failures=0, max_ulp=0, mean_ulp=0.0,
+            max_abs=0.0, max_rel=0.0, worst_index=-1, tolerance=tol_dict,
+        )
+    ulp = ulp_diff(r, g)
+    bit_equal = ulp == 0
+    yard = np.abs(r)
+    if scale is not None:
+        yard = np.maximum(yard, np.abs(np.asarray(scale, dtype=np.float64)).reshape(-1))
+    abs_err = np.where(bit_equal, 0.0, np.abs(g - r))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rel = np.where(yard > 0, abs_err / yard, np.where(abs_err > 0, np.inf, 0.0))
+    # The abs/rel escape applies to finite pairs only: an Inf reference
+    # would make ``rtol * yard`` infinite and wave through -Inf or NaN.
+    finite_pair = np.isfinite(r) & np.isfinite(g)
+    ok = (
+        bit_equal
+        | (ulp <= tolerance.max_ulp)
+        | (finite_pair & (abs_err <= tolerance.atol + tolerance.rtol * yard))
+    )
+    failures = int(np.count_nonzero(~ok))
+    return ValueComparison(
+        size=int(r.size),
+        bit_mismatches=int(np.count_nonzero(~bit_equal)),
+        failures=failures,
+        max_ulp=int(ulp.max()),
+        mean_ulp=float(ulp.mean()),
+        max_abs=float(abs_err.max()),
+        max_rel=float(rel.max()),
+        worst_index=int(ulp.argmax()) if np.any(~bit_equal) else -1,
+        tolerance=tol_dict,
+        within=failures == 0,
+    )
+
+
+def _stored_coordinates(c) -> "tuple[np.ndarray, np.ndarray]":
+    """Global (row, col) of every stored nonzero of a TileMatrix, in
+    storage order — the order of ``c.val``."""
+    t = c.tile_size
+    elem_tile = c.tile_of_nonzero()
+    tile_row = c.tile_rowidx()
+    rows = tile_row[elem_tile].astype(np.int64) * t + c.rowidx.astype(np.int64)
+    cols = c.tilecolidx[elem_tile].astype(np.int64) * t + c.colidx.astype(np.int64)
+    return rows, cols
+
+
+def accumulation_scale(a, b, c) -> np.ndarray:
+    """Per-stored-element ``Σ|a_ik · b_kj|`` for the product ``C = A·B``.
+
+    ``a`` and ``b`` are the input matrices (anything with ``to_dense``,
+    or dense arrays); ``c`` the reference result TileMatrix.  The
+    returned array aligns with ``c.val`` and is the natural error
+    yardstick for any reordered accumulation of the same products.
+    Densifies the inputs — corpus-sized matrices only.
+    """
+    da = np.abs(a.to_dense() if hasattr(a, "to_dense") else np.asarray(a))
+    db = np.abs(b.to_dense() if hasattr(b, "to_dense") else np.asarray(b))
+    magnitude = da.astype(np.float64) @ db.astype(np.float64)
+    rows, cols = _stored_coordinates(c)
+    return magnitude[rows, cols]
+
+
+def conformance_report(
+    ref_c,
+    got_c,
+    tolerance: ValueTolerance,
+    scale: Optional[np.ndarray] = None,
+    structure_arrays: Sequence[str] = STRUCTURE_ARRAYS,
+) -> Dict[str, object]:
+    """Full tier-2 verdict for one result pair, JSON-serialisable.
+
+    ``structure`` maps each structural array to byte-identity; ``values``
+    is the :class:`ValueComparison` for ``val``; ``ok`` requires both.
+    """
+    structure: Dict[str, bool] = {}
+    for name in structure_arrays:
+        r = np.asarray(getattr(ref_c, name))
+        g = np.asarray(getattr(got_c, name))
+        structure[name] = (
+            r.dtype == g.dtype and r.shape == g.shape and r.tobytes() == g.tobytes()
+        )
+    values = compare_values(
+        getattr(ref_c, VALUE_ARRAY), getattr(got_c, VALUE_ARRAY), tolerance, scale
+    )
+    return {
+        "structure": structure,
+        "structure_identical": all(structure.values()),
+        "values": values.to_dict(),
+        "ok": all(structure.values()) and values.within,
+    }

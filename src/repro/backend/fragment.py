@@ -1,0 +1,74 @@
+"""The ``fragment`` backend: batched 16-wide fragment accumulation.
+
+Models the tensor-core mapping of Zachariadis et al. (PAPERS.md,
+arXiv:2009.14600), where the dense-accumulator path of step 3 is fed to
+MMA units as batches of small fixed-shape fragments.  A CPU model of
+that execution keeps the *shape* of the computation — products are
+packed into zero-padded, 16-wide fragments and reduced by one batched
+small-GEMM (an ``np.einsum`` contraction over the stacked fragments) —
+without pretending to be a GPU.
+
+Only :meth:`FragmentKernelSet.scatter_add_into` differs from the numpy
+reference; the integer structure kernels are inherited bit-for-bit, so
+every structural array stays byte-identical and the backend sits in the
+FAST_MATH conformance tier purely for its values: summing each output
+position's products in padded groups of 16 reassociates the float64
+accumulation relative to bincount's strict input order.  The packing is
+fully deterministic (stable sort, fixed fragment width), so values are
+reproducible run to run — they just differ from the reference in the
+last ulps, within the declared :class:`~repro.backend.base.ValueTolerance`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ConformanceTier
+from repro.backend.numpy_backend import NumpyKernelSet
+
+__all__ = ["FragmentKernelSet", "FRAGMENT_WIDTH"]
+
+#: Products per fragment — one tensor-core operand row (16×16 tiles).
+FRAGMENT_WIDTH = 16
+
+
+class FragmentKernelSet(NumpyKernelSet):
+    """Tier-2 kernels modelling the tensor-core dense-16×16 path."""
+
+    name = "fragment"
+    tier = ConformanceTier.FAST_MATH
+
+    def scatter_add_into(self, out, positions, weights):
+        self._tick("scatter_add_into")
+        pos = np.asarray(positions, dtype=np.int64).reshape(-1)
+        if pos.size == 0:
+            return
+        w = np.ascontiguousarray(
+            np.broadcast_to(np.asarray(weights, dtype=out.dtype), pos.shape)
+        )
+        f = FRAGMENT_WIDTH
+        # Stable sort groups each output position's products contiguously
+        # while preserving their input order (deterministic packing).
+        order = np.argsort(pos, kind="stable")
+        sp = pos[order]
+        sw = w[order]
+        starts = np.flatnonzero(np.r_[True, sp[1:] != sp[:-1]])
+        lens = np.diff(np.r_[starts, sp.size])
+        uniq = sp[starts]
+        # Pack every segment into zero-padded fragments of width f.
+        frags = -(-lens // f)
+        seg_off = np.zeros(uniq.size, dtype=np.int64)
+        np.cumsum(frags[:-1] * f, out=seg_off[1:])
+        lane = np.arange(sp.size, dtype=np.int64) - np.repeat(starts, lens)
+        packed = np.zeros(int(frags.sum()) * f, dtype=out.dtype)
+        packed[np.repeat(seg_off, lens) + lane] = sw
+        # The batched fragment pass: one 16-wide contraction per
+        # fragment, the MMA-accumulate each tensor-core op performs.
+        partial = np.einsum(
+            "bf,f->b", packed.reshape(-1, f), np.ones(f, dtype=out.dtype)
+        )
+        # Epilogue: fold each segment's fragment partials together and
+        # land them on the output positions with one elementwise add.
+        frag_starts = np.zeros(uniq.size, dtype=np.int64)
+        np.cumsum(frags[:-1], out=frag_starts[1:])
+        out[uniq] += np.add.reduceat(partial, frag_starts)

@@ -277,6 +277,7 @@ def _tile_spgemm_under_context(
 
     stats = collect_stats(a, b, pairs, sym, num, layout)
     stats["backend"] = kernels.name
+    stats["backend_tier"] = kernels.tier.value
     if obs.enabled:
         _record_obs_metrics(obs.metrics, stats)
         profiler = obs.profile

@@ -45,8 +45,12 @@ freshly-imported registry (:mod:`repro.backend`).  A worker that runs
 with no explicit spec — and any child the engine did not configure —
 falls back to ``REPRO_BACKEND`` from its inherited environment.  Every
 shard of a run therefore executes the same backend, and the conformance
-suite pins the merged result byte-identical to the serial ``numpy``
-run for every registered backend.
+suite pins the merged result against the serial ``numpy`` run per the
+backend's declared tier: byte-identical for exact-tier backends, and
+byte-identical *structure* with values inside the declared
+:class:`~repro.backend.ValueTolerance` for fast-math (tier-2) backends
+— sharding and stitching never add error of their own because chunk
+boundaries align with C tile rows.
 
 **Failure.**  A shard raising
 :class:`~repro.errors.TransientKernelError`, or the pool breaking
@@ -65,7 +69,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.backend import resolve_backend_name
+from repro.backend import backend_tier, resolve_backend_name
 from repro.core.tile_matrix import TileMatrix
 from repro.core.tilespgemm import TileSpGEMMResult, _record_obs_metrics, tile_spgemm
 from repro.errors import ConfigurationError, InvalidInputError, TransientKernelError
@@ -533,7 +537,11 @@ def parallel_tile_spgemm(
         [out[0] for out in shard_outputs], a, b, keep_empty_tiles
     )
     merged.stats.update(
-        shards=num_shards, workers=workers, executor=executor, backend=backend_name
+        shards=num_shards,
+        workers=workers,
+        executor=executor,
+        backend=backend_name,
+        backend_tier=backend_tier(backend_name).value,
     )
     if plan_dict is not None:
         merged.stats["plan"] = plan_dict

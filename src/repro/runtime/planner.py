@@ -59,7 +59,7 @@ from repro.analysis.estimate import (
     MultiplyEstimate,
     estimate_multiply,
 )
-from repro.backend import resolve_backend_name
+from repro.backend import backend_tier, resolve_backend_name
 from repro.core.step3 import default_tnnz
 from repro.errors import InvalidInputError
 from repro.runtime.chunked import batch_bounds, validate_bounds
@@ -122,6 +122,10 @@ class ExecutionPlan:
         fixed per plan, never per shard).
     backend:
         Resolved kernel-backend registry name.
+    backend_tier:
+        The backend's declared conformance tier (``"exact"`` or
+        ``"fast-math"``), recorded so artifacts show which guarantee
+        the run carried.
     estimate:
         Native-typed :meth:`~repro.analysis.estimate.MultiplyEstimate.to_dict`
         summary the decisions were derived from.
@@ -140,6 +144,7 @@ class ExecutionPlan:
     bounds: np.ndarray
     tnnz: int
     backend: str
+    backend_tier: str = "exact"
     estimate: Dict[str, Any] = field(default_factory=dict)
     cache: Dict[str, Any] = field(default_factory=dict)
     notes: Tuple[str, ...] = ()
@@ -158,6 +163,7 @@ class ExecutionPlan:
             "bounds": [int(x) for x in self.bounds],
             "tnnz": int(self.tnnz),
             "backend": self.backend,
+            "backend_tier": self.backend_tier,
             "estimate": dict(self.estimate),
             "cache": dict(self.cache),
             "notes": list(self.notes),
@@ -235,6 +241,7 @@ def plan_execution(
     executor: Optional[str] = None,
     shards: Optional[int] = None,
     backend=None,
+    tier=None,
     calibration: Optional[Dict[str, Any]] = None,
     cache_stats: Optional[Dict[str, Any]] = None,
     sample_rows: int = DEFAULT_SAMPLE_ROWS,
@@ -248,6 +255,12 @@ def plan_execution(
     planner fills in what the caller left open.  ``calibration`` is a
     loaded ``repro.calibration/1`` report; ``cache_stats`` defaults to
     the process-wide :class:`~repro.runtime.tilecache.TileCache`.
+
+    ``tier`` is the caller's conformance requirement, forwarded to
+    :func:`~repro.backend.resolve_backend_name`: pass
+    ``ConformanceTier.EXACT`` to guarantee the planned backend is
+    byte-reproducible — planning fails loudly rather than emit a plan
+    that names a fast-math backend.
     """
     if a.shape[1] != b.shape[0]:
         raise InvalidInputError(
@@ -333,7 +346,7 @@ def plan_execution(
             f"dense-leaning tnnz {tnnz}"
         )
 
-    backend_name = resolve_backend_name(backend)
+    backend_name = resolve_backend_name(backend, tier=tier)
 
     return ExecutionPlan(
         mode=mode,
@@ -343,6 +356,7 @@ def plan_execution(
         bounds=bounds,
         tnnz=int(tnnz),
         backend=backend_name,
+        backend_tier=backend_tier(backend_name).value,
         estimate=est.to_dict(),
         cache=dict(cache_stats),
         notes=tuple(notes),

@@ -51,7 +51,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Optional, Set, Tuple
 
-from repro.backend import resolve_backend_name
+from repro.backend import ConformanceTier, backend_tier, resolve_backend_name
 from repro.core.tile_matrix import TileMatrix
 from repro.errors import (
     DeadlineExceededError,
@@ -222,6 +222,7 @@ class SpGEMMService:
         self._default_deadline_s = default_deadline_s
         self._default_budget_bytes = default_budget_bytes
         self._backend_name = resolve_backend_name(backend)
+        self._backend_tier = backend_tier(self._backend_name)
         self._sleep = sleep if sleep is not None else asyncio.sleep
         self._clock = clock
         self._cache = get_tile_cache()
@@ -307,6 +308,7 @@ class SpGEMMService:
         deadline_s: Optional[float] = None,
         budget_bytes: Optional[int] = None,
         fault_plan=None,
+        exact: bool = False,
         backpressure: str = "shed",
     ) -> ServeResponse:
         """Submit one multiply; resolves with its terminal response.
@@ -321,6 +323,12 @@ class SpGEMMService:
         ``"shed"`` (default) fails fast with a typed shed response when
         the queue is at its bound; ``"wait"`` blocks this coroutine
         until a slot frees — the submitter slows to the service's pace.
+
+        ``exact=True`` declares the submitter needs exact-tier
+        (byte-reproducible) values.  A service whose configured backend
+        is fast-math sheds such requests at admission with reason
+        ``"backend_tier"`` — the conformance guarantee is part of
+        admission, never silently downgraded.
         """
         if not self._running or not self._accepting:
             raise InvalidInputError("service is not accepting requests")
@@ -354,6 +362,7 @@ class SpGEMMService:
                 else self._default_budget_bytes
             ),
             fault_plan=fault_plan,
+            exact=exact,
             trace_id=new_trace_id("req"),
             submitted_s=self._clock(),
         )
@@ -367,6 +376,22 @@ class SpGEMMService:
             deadline_s=req.deadline_s,
             budget_bytes=req.budget_bytes,
         )
+
+        # Admission gate 0: the conformance tier.  An exact-mode
+        # request against a fast-math service can never be satisfied,
+        # so it sheds immediately in either backpressure mode (waiting
+        # cannot change the service's backend).
+        if req.exact and self._backend_tier is not ConformanceTier.EXACT:
+            return self._finish_shed(
+                req,
+                ServiceOverloadError(
+                    "backend_tier",
+                    f"request requires exact-tier kernels but the service "
+                    f"backend {self._backend_name!r} is declared "
+                    f"{self._backend_tier.value!r}",
+                ),
+                queued=False,
+            )
 
         # Admission gate 1: the memory estimate — this request alone,
         # and the aggregate of everything already admitted (reserved
@@ -806,6 +831,10 @@ class SpGEMMService:
             labels.get("tenant", ""): value
             for labels, value in metrics.counter_samples("serve_requests_total")
         }
+        sheds: Dict[str, float] = {}
+        for labels, value in metrics.counter_samples("serve_shed_total"):
+            reason = labels.get("reason", "")
+            sheds[reason] = sheds.get(reason, 0.0) + value
         out: Dict[str, object] = {
             "running": self._running,
             "accepting": self._accepting,
@@ -814,6 +843,8 @@ class SpGEMMService:
             ),
             "workers": self._bridge.workers,
             "executor": self._bridge.executor,
+            "backend": self._backend_name,
+            "backend_tier": self._backend_tier.value,
             "pool_replacements": self._bridge.pool_replacements,
             "queue": {
                 "depth": self._queue.depth,
@@ -829,6 +860,7 @@ class SpGEMMService:
             },
             "requests_total": requests,
             "outcomes_total": outcomes,
+            "sheds_total": sheds,
             "slo": self.slo.report(),
             "tilecache": self._cache.stats(),
         }

@@ -1,0 +1,180 @@
+"""Backend × execution-engine composition: tier-2 kernels everywhere.
+
+The conformance harness (:mod:`tests.test_backend_conformance`) judges
+each backend through the *serial* pipeline.  This suite proves the same
+two-tier contract composes with every execution engine the runtime
+offers — the thread and spawned-process parallel pools, the chunked
+batcher, and a full serve-tier request — and that each engine records
+the real backend name and tier in its stats/metrics.  Because chunk and
+shard boundaries align with C tile rows, the engines add *no* extra
+floating-point error: the merged tier-2 result must match the serial
+tier-2 result byte-for-byte, and match the serial numpy reference
+within the backend's declared tolerance.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.analysis.ulp import accumulation_scale, conformance_report
+from repro.backend import ConformanceTier, backend_tier, backend_tolerance, list_backends
+from repro.core import TileMatrix, tile_spgemm
+from repro.runtime.chunked import chunked_tile_spgemm
+from repro.runtime.parallel import parallel_tile_spgemm
+from tests.corpus import CORPUS
+from tests.test_parallel_runtime import assert_bytes_identical
+
+FAST_BACKENDS = [
+    n for n in list_backends() if backend_tier(n) is ConformanceTier.FAST_MATH
+]
+
+CASE = "moderate_random"
+
+
+@pytest.fixture(scope="module")
+def operands():
+    case = CORPUS[CASE]
+    return TileMatrix.from_csr(case.a), TileMatrix.from_csr(case.b)
+
+
+@pytest.fixture(scope="module")
+def reference(operands):
+    a_t, b_t = operands
+    return tile_spgemm(a_t, b_t, backend="numpy")
+
+
+@pytest.fixture(scope="module")
+def scale(reference):
+    case = CORPUS[CASE]
+    return accumulation_scale(case.a, case.b, reference.c)
+
+
+def _assert_tier2_conformant(backend, got, reference, scale):
+    report = conformance_report(
+        reference.c, got.c, backend_tolerance(backend), scale=scale
+    )
+    assert report["ok"], report
+
+
+@pytest.mark.parametrize("backend", FAST_BACKENDS)
+@pytest.mark.parametrize("executor", ["thread", "process"])
+def test_fast_backend_through_parallel_pools(
+    backend, executor, operands, reference, scale
+):
+    a_t, b_t = operands
+    serial = tile_spgemm(a_t, b_t, backend=backend)
+    got = parallel_tile_spgemm(
+        a_t, b_t, workers=2, executor=executor, backend=backend
+    )
+    assert got.stats["backend"] == backend
+    assert got.stats["backend_tier"] == "fast-math"
+    assert got.stats["executor"] == executor
+    # Sharding on tile-row boundaries reorders no accumulation: the
+    # pooled result is bit-identical to the same backend run serially.
+    assert_bytes_identical(serial.c, got.c)
+    _assert_tier2_conformant(backend, got, reference, scale)
+
+
+@pytest.mark.parametrize("backend", FAST_BACKENDS)
+def test_fast_backend_through_chunked_engine(backend, operands, reference, scale):
+    a_t, b_t = operands
+    serial = tile_spgemm(a_t, b_t, backend=backend)
+    got = chunked_tile_spgemm(a_t, b_t, num_batches=3, backend=backend)
+    assert got.stats["backend"] == backend
+    assert got.stats["backend_tier"] == "fast-math"
+    assert_bytes_identical(serial.c, got.c)
+    _assert_tier2_conformant(backend, got, reference, scale)
+
+
+@pytest.mark.parametrize("backend", FAST_BACKENDS)
+def test_fast_backend_through_serve_tier(backend, reference, scale):
+    from repro.serve.service import SpGEMMService
+
+    case = CORPUS[CASE]
+
+    async def run():
+        async with SpGEMMService(
+            max_queue_depth=4, workers=2, backend=backend
+        ) as svc:
+            resp = await svc.submit(case.a, case.b)
+            return resp, svc.varz()
+
+    resp, varz = asyncio.run(run())
+    assert resp.ok and resp.outcome == "served"
+    assert varz["backend"] == backend
+    assert varz["backend_tier"] == "fast-math"
+    _assert_tier2_conformant(backend, resp, reference, scale)
+
+
+@pytest.mark.parametrize("backend", FAST_BACKENDS)
+def test_serve_exact_request_shed_by_fast_math_service(backend):
+    from repro.errors import ServiceOverloadError
+    from repro.obs.context import make_obs, obs_context
+    from repro.serve.service import SpGEMMService
+
+    case = CORPUS[CASE]
+    obs = make_obs(metrics=True)
+
+    async def run():
+        with obs_context(metrics=obs.metrics):
+            async with SpGEMMService(
+                max_queue_depth=4, workers=2, backend=backend
+            ) as svc:
+                shed = await svc.submit(case.a, case.b, exact=True)
+                # The gate holds in wait-mode backpressure too: tier is
+                # a conformance decision, not a capacity decision.
+                shed_wait = await svc.submit(
+                    case.a, case.b, exact=True, backpressure="wait"
+                )
+                served = await svc.submit(case.a, case.b)  # opt-out works
+                return shed, shed_wait, served, svc.varz()
+
+    shed, shed_wait, served, varz = asyncio.run(run())
+    for resp in (shed, shed_wait):
+        assert resp.outcome == "shed" and not resp.ok
+        assert isinstance(resp.error, ServiceOverloadError)
+        assert resp.error.reason == "backend_tier"
+        with pytest.raises(ServiceOverloadError):
+            resp.result_or_raise()
+    assert served.ok
+    assert varz["sheds_total"] == {"backend_tier": 2}
+    assert varz["outcomes_total"]["default"]["shed"] == 2
+    assert varz["outcomes_total"]["default"]["served"] == 1
+
+
+def test_serve_exact_request_served_by_exact_service():
+    from repro.serve.service import SpGEMMService
+
+    case = CORPUS[CASE]
+
+    async def run():
+        async with SpGEMMService(
+            max_queue_depth=4, workers=2, backend="numpy"
+        ) as svc:
+            return await svc.submit(case.a, case.b, exact=True), svc.varz()
+
+    resp, varz = asyncio.run(run())
+    assert resp.ok and resp.outcome == "served"
+    assert varz["backend"] == "numpy"
+    assert varz["backend_tier"] == "exact"
+
+
+@pytest.mark.parametrize("backend", FAST_BACKENDS)
+def test_fast_backend_engines_agree_with_each_other(backend, operands):
+    """Seed-pinned determinism across engines: serial, thread pool and
+    chunked runs of the same tier-2 backend produce byte-identical
+    results (structure *and* values) run after run."""
+    a_t, b_t = operands
+    runs = [
+        tile_spgemm(a_t, b_t, backend=backend),
+        tile_spgemm(a_t, b_t, backend=backend),
+        parallel_tile_spgemm(a_t, b_t, workers=2, executor="thread", backend=backend),
+        chunked_tile_spgemm(a_t, b_t, num_batches=3, backend=backend),
+    ]
+    first = runs[0]
+    for other in runs[1:]:
+        assert_bytes_identical(first.c, other.c)
+    assert np.asarray(first.c.val).dtype == np.float64

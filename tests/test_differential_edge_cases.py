@@ -10,6 +10,12 @@ half-precision value mode.
 Also home of the accumulator-threshold regression tests: the step-3
 default ``tnnz`` must scale as 75 % of the tile's capacity, exactly the
 rule the GPU cost model uses to predict the sparse/dense split.
+
+The shared corpus (:mod:`tests.corpus`) is run in full at the bottom:
+every named case the backend-conformance harness judges also goes
+through every CSR baseline here, with the tolerance-stress cases held
+to a ``Σ|products|``-scaled bound (a dense reference reassociates the
+accumulation, so plain elementwise tolerances are meaningless there).
 """
 
 import numpy as np
@@ -21,6 +27,7 @@ from repro.core.step3 import DEFAULT_TNNZ, default_tnnz
 from repro.formats.coo import COOMatrix
 from repro.formats.csr import CSRMatrix
 from tests.conftest import random_csr
+from tests.corpus import CORPUS, corpus_names, dense_16x16, dup_coo
 
 #: Every registered CSR-level method; tsparse runs in half precision by
 #: design, so it is compared with a loose tolerance below.
@@ -74,9 +81,7 @@ class TestFullyDenseTile:
         # row pointers span offsets 0..256 — the exact boundary of the
         # uint8 row-pointer representation.  The pattern also drives the
         # accumulator to its dense branch (256 > tnnz = 192).
-        rng = np.random.default_rng(302)
-        d = rng.uniform(0.5, 1.5, size=(16, 16))
-        a = CSRMatrix.from_dense(d)
+        a = dense_16x16()
         _assert_all_methods_agree(a, a)
         res = tile_spgemm(TileMatrix.from_csr(a), TileMatrix.from_csr(a))
         assert res.stats["dense_tiles"] == 1 and res.stats["sparse_tiles"] == 0
@@ -93,14 +98,9 @@ class TestFullyDenseTile:
 
 class TestDuplicateCOOEntries:
     def test_duplicates_summed_before_multiply(self):
-        rows = np.array([0, 0, 1, 1, 1, 2])
-        cols = np.array([1, 1, 2, 2, 2, 0])
-        vals = np.array([1.0, 2.0, 0.5, 0.5, 1.0, 4.0])
-        a = COOMatrix((3, 3), rows, cols, vals).to_csr()
-        d = np.zeros((3, 3))
-        for r, c, v in zip(rows, cols, vals):
-            d[r, c] += v
-        np.testing.assert_allclose(a.to_dense(), d)
+        a = dup_coo()
+        expected = np.array([[0.0, 3.0, 0.0], [0.0, 0.0, 2.0], [4.0, 0.0, 0.0]])
+        np.testing.assert_allclose(a.to_dense(), expected)
         _assert_all_methods_agree(a, a)
 
     def test_duplicates_cancelling_to_zero(self):
@@ -198,3 +198,60 @@ class TestAccumulatorThreshold:
         forced_dense = tile_spgemm(at, at, tnnz=-1)
         assert forced_dense.stats["sparse_tiles"] == 0
         assert np.array_equal(forced_sparse.c.val, forced_dense.c.val)
+
+
+class TestSharedCorpus:
+    """The full shared corpus through every CSR baseline."""
+
+    @pytest.mark.parametrize(
+        "case_name", corpus_names(exclude_tags=("fp16", "stress"))
+    )
+    def test_all_methods_agree_on_corpus(self, case_name):
+        case = CORPUS[case_name]
+        _assert_all_methods_agree(case.a, case.b, **case.kwargs)
+
+    @pytest.mark.parametrize(
+        "case_name",
+        [
+            n
+            for n in corpus_names(exclude_tags=("fp16",))
+            if CORPUS[n].has("stress")
+        ],
+    )
+    def test_stress_cases_within_accumulation_bound(self, case_name):
+        # Catastrophic cancellation / 10^6 magnitude spreads: the dense
+        # reference reassociates the sums, so the honest elementwise
+        # bound is relative to Σ|products|, not to the result.
+        case = CORPUS[case_name]
+        ref = case.a.to_dense() @ case.b.to_dense()
+        scale = np.abs(case.a.to_dense()) @ np.abs(case.b.to_dense())
+        bound = 1e-12 + 1e-10 * scale
+        at, bt = TileMatrix.from_csr(case.a), TileMatrix.from_csr(case.b)
+        tiled = tile_spgemm(at, bt, **case.kwargs).c.to_dense()
+        assert np.all(np.abs(tiled - ref) <= bound)
+        for method in EXACT_METHODS:
+            got = get_algorithm(method)(case.a, case.b).c.to_dense()
+            assert np.all(np.abs(got - ref) <= bound), method
+        # tsparse runs its products in fp16 and would overflow on the
+        # 1e8-magnitude inputs, so it is deliberately excluded here.
+
+    @pytest.mark.parametrize(
+        "case_name",
+        [n for n in corpus_names() if CORPUS[n].has("fp16")],
+    )
+    def test_fp16_cases_structure_matches_float64(self, case_name):
+        # The half-precision value mode perturbs values only: symbolic
+        # structure must be identical to the float64 run, and values
+        # must sit within an fp16-rounding bound of it, scaled by the
+        # accumulation magnitude.
+        case = CORPUS[case_name]
+        at, bt = TileMatrix.from_csr(case.a), TileMatrix.from_csr(case.b)
+        full = tile_spgemm(at, bt)
+        half = tile_spgemm(at, bt, **case.kwargs)
+        assert np.array_equal(full.c.colidx, half.c.colidx)
+        assert np.array_equal(full.c.rowidx, half.c.rowidx)
+        assert np.array_equal(full.c.tilennz, half.c.tilennz)
+        assert half.c.val.dtype == np.float64
+        ref = full.c.to_dense()
+        scale = np.abs(case.a.to_dense()) @ np.abs(case.b.to_dense())
+        assert np.all(np.abs(half.c.to_dense() - ref) <= 1e-3 + 1e-2 * scale)
